@@ -1,0 +1,262 @@
+(* Command-line driver: run any experiment of the reproduction and print
+   the series/tables the paper's figures plot. *)
+
+open Cmdliner
+module E = Utc_experiments
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let seed =
+  let doc = "Random seed for the ground-truth simulation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let duration default =
+  let doc = "Simulated seconds." in
+  Arg.(value & opt float default & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let out_file =
+  let doc = "Also write gnuplot-ready rows ($(i,time value) per line) to this file." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let dump_rows path rows =
+  match path with
+  | None -> ()
+  | Some path ->
+    Utc_stats.Dataio.write_series ~path
+      (List.map (fun (label, points) -> { Utc_stats.Dataio.label; points }) rows);
+    Format.printf "wrote %s@." path
+
+(* --- fig1 --- *)
+
+let fig1_cmd =
+  let run () seed duration out =
+    let result = E.Fig1_bufferbloat.run { E.Fig1_bufferbloat.default with seed; duration } in
+    E.Fig1_bufferbloat.pp_report Format.std_formatter result;
+    dump_rows out [ ("rtt", result.E.Fig1_bufferbloat.rtt); ("cwnd", result.E.Fig1_bufferbloat.cwnd) ]
+  in
+  let info = Cmd.info "fig1" ~doc:"Figure 1: TCP RTT over a bufferbloated cellular-like path." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 250.0 $ out_file)
+
+(* --- fig2 --- *)
+
+let fig2_cmd =
+  let run () seed duration =
+    let result = E.Fig2_topology.run ~seed ~duration () in
+    E.Fig2_topology.pp_report Format.std_formatter result;
+    if not result.E.Fig2_topology.agreement then exit 1
+  in
+  let info = Cmd.info "fig2" ~doc:"Figure 2: build the network model; cross-check interpreters." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 150.0)
+
+(* --- fig3 --- *)
+
+let alphas =
+  let doc = "Cross-traffic priorities to sweep." in
+  Arg.(value & opt (list float) E.Fig3_alpha.paper_alphas & info [ "alphas" ] ~docv:"A,B,.." ~doc)
+
+let fig3_cmd =
+  let run () seed duration alphas out =
+    let runs = E.Fig3_alpha.run_all ~seed ~duration ~alphas () in
+    E.Fig3_alpha.pp_report Format.std_formatter runs;
+    dump_rows out
+      (List.map
+         (fun (r : E.Fig3_alpha.run) ->
+           (Printf.sprintf "alpha=%g" r.E.Fig3_alpha.alpha, E.Fig3_alpha.sent_series r))
+         runs)
+  in
+  let info = Cmd.info "fig3" ~doc:"Figure 3: sequence number vs time, varying alpha." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0 $ alphas $ out_file)
+
+(* --- prior --- *)
+
+let prior_cmd =
+  let run () seed duration =
+    let result = E.Prior_table.run ~seed ~duration () in
+    E.Prior_table.pp_report Format.std_formatter result
+  in
+  let info = Cmd.info "prior" ~doc:"S4 prior table: posterior mass on the true parameters." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0)
+
+(* --- simple --- *)
+
+let simple_cmd =
+  let run () seed duration =
+    let unknown = E.Simple_configs.run_unknown_link ~seed ~duration () in
+    let drain = E.Simple_configs.run_drain_first ~seed ~duration () in
+    E.Simple_configs.pp_report Format.std_formatter unknown drain
+  in
+  let info = Cmd.info "simple" ~doc:"S4 simple configurations: tentative start; drain-first." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
+
+(* --- util --- *)
+
+let util_cmd =
+  let run () =
+    Format.printf "S3.3: sum_(t=0..inf) e^(-t/kappa) vs the paper's kappa + 0.5@.@.";
+    Format.printf "%10s %14s %14s %10s@." "kappa(ms)" "exact" "paper approx" "rel err";
+    List.iter
+      (fun kappa ->
+        let exact = Utc_utility.Discount.geometric_sum ~kappa in
+        let approx = Utc_utility.Discount.paper_approximation ~kappa in
+        Format.printf "%10.1f %14.4f %14.4f %10.2e@." kappa exact approx
+          (Float.abs (exact -. approx) /. exact))
+      [ 10.0; 100.0; 1000.0; 10_000.0 ];
+    Format.printf "@.(the approximation holds for r > 1/100 packets per second, i.e.@.";
+    Format.printf " kappa = 1000 r >= 10 ms, as the paper claims)@."
+  in
+  let info = Cmd.info "util" ~doc:"S3.3 utility: verify the geometric-sum approximation." in
+  Cmd.v info Term.(const run $ logs_term)
+
+(* --- ablate --- *)
+
+let ablate_cmd =
+  let run () seed duration =
+    Format.printf "Ablation: inference cap policy@.";
+    E.Ablations.pp_rows Format.std_formatter (E.Ablations.cap_policy ~seed ~duration ());
+    Format.printf "@.Ablation: gate fork epoch@.";
+    E.Ablations.pp_rows Format.std_formatter (E.Ablations.epoch ~seed ~duration ());
+    Format.printf "@.Ablation: loss handling (shortened run)@.";
+    E.Ablations.pp_rows Format.std_formatter
+      (E.Ablations.loss_mode ~seed ~duration:(Float.min duration 60.0) ())
+  in
+  let info = Cmd.info "ablate" ~doc:"Ablations: cap policy, gate epoch, loss handling." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 200.0)
+
+(* --- aqm --- *)
+
+let aqm_cmd =
+  let run () seed duration =
+    Format.printf "Extension: Reno through tail-drop / RED / CoDel (Figure 1 bottleneck)@.@.";
+    E.Versus.pp_aqm Format.std_formatter (E.Versus.tcp_under_aqm ~seed ~duration ())
+  in
+  let info = Cmd.info "aqm" ~doc:"Extension: TCP under active queue management." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 200.0)
+
+(* --- versus --- *)
+
+let versus_cmd =
+  let run () seed duration =
+    Format.printf "Extension (S3.5 open question): ISender sharing a bottleneck with TCP@.@.";
+    E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_tcp ~seed ~duration ())
+  in
+  let info = Cmd.info "versus" ~doc:"Extension: ISender vs TCP on one bottleneck." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0)
+
+(* --- versus2 --- *)
+
+let versus2_cmd =
+  let run () seed duration =
+    Format.printf "Extension (S3.5 open question): two ISenders sharing a bottleneck@.@.";
+    E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_isender ~seed ~duration ())
+  in
+  let info = Cmd.info "versus2" ~doc:"Extension: ISender vs ISender on one bottleneck." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0)
+
+(* --- skew --- *)
+
+let skew_cmd =
+  let run () seed duration =
+    E.Skew.pp_report Format.std_formatter (E.Skew.run ~seed ~duration ())
+  in
+  let info = Cmd.info "skew" ~doc:"Extension: infer the return-path delay (S3.4 future work)." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
+
+(* --- pomdp --- *)
+
+let pomdp_cmd =
+  let run () =
+    Format.printf "Precomputed policies (S3.3): the send/idle MDP solved exactly@.@.";
+    List.iter
+      (fun alpha ->
+        let config = { Utc_pomdp.Sender_mdp.default with alpha } in
+        let solution = Utc_pomdp.Sender_mdp.solve config in
+        Format.printf "alpha=%-4g -> send while occupancy < %d@." alpha
+          (Utc_pomdp.Sender_mdp.send_threshold solution))
+      [ 0.0; 0.5; 1.0; 2.5; 5.0 ];
+    Format.printf "@.policy at alpha=1:@.";
+    Utc_pomdp.Sender_mdp.pp_policy Format.std_formatter
+      (Utc_pomdp.Sender_mdp.solve Utc_pomdp.Sender_mdp.default);
+    Format.printf "@.";
+    E.Policy_bridge.pp_report Format.std_formatter (E.Policy_bridge.compare_on_fig3 ())
+  in
+  let info = Cmd.info "pomdp" ~doc:"S3.3: compute the offline policy for a discretized model." in
+  Cmd.v info Term.(const run $ logs_term)
+
+(* --- scale --- *)
+
+let scale_cmd =
+  let run () seed duration =
+    Format.printf "Filter cost vs prior size (S3.2 computational remark)@.@.";
+    E.Scalability.pp_rows Format.std_formatter (E.Scalability.run ~seed ~duration ())
+  in
+  let info = Cmd.info "scale" ~doc:"Filter wall-clock cost vs prior size; bounded resampler." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 60.0)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let seeds_arg =
+    let doc = "Ground-truth seeds to sweep." in
+    Arg.(value & opt (list int) [ 1; 2; 3 ] & info [ "seeds" ] ~docv:"S1,S2,.." ~doc)
+  in
+  let csv =
+    let doc = "CSV output path." in
+    Arg.(value & opt string "fig3_sweep.csv" & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run () duration alphas seeds csv =
+    let rows =
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun alpha ->
+              let r = E.Fig3_alpha.run_one ~seed ~duration ~alpha () in
+              let rates = E.Fig3_alpha.rates r in
+              [
+                float_of_int seed;
+                alpha;
+                rates.E.Fig3_alpha.cross_on_rate;
+                rates.E.Fig3_alpha.cross_off_rate;
+                float_of_int rates.E.Fig3_alpha.overflow_drops_caused;
+                float_of_int rates.E.Fig3_alpha.total_sent;
+              ])
+            alphas)
+        seeds
+    in
+    Utc_stats.Dataio.write_csv ~path:csv
+      ~header:[ "seed"; "alpha"; "on_rate"; "off_rate"; "cross_drops"; "sent" ]
+      rows;
+    Format.printf "wrote %s (%d rows)@." csv (List.length rows)
+  in
+  let info =
+    Cmd.info "sweep" ~doc:"Figure 3 sweep over alphas and seeds; writes a CSV of rates."
+  in
+  Cmd.v info Term.(const run $ logs_term $ duration 300.0 $ alphas $ seeds_arg $ csv)
+
+(* --- families --- *)
+
+let families_cmd =
+  let run () seed duration =
+    Format.printf "Richer model families (S3.1 compositionality)@.@.";
+    E.Families.pp_result Format.std_formatter (E.Families.two_hop ~seed ~duration ());
+    E.Families.pp_result Format.std_formatter (E.Families.bursty_cross ~seed ~duration ())
+  in
+  let info = Cmd.info "families" ~doc:"Inference over two-hop and bursty-cross model families." in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
+
+let main_cmd =
+  let info =
+    Cmd.info "utc" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'End-to-End Transmission Control by Modeling Uncertainty about the \
+         Network State' (HotNets-X 2011)."
+  in
+  Cmd.group info
+    [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
+      versus_cmd; versus2_cmd; skew_cmd; pomdp_cmd; families_cmd; sweep_cmd; scale_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/alpha_sweep.ml: Array Fmt Format List Sys Utc_experiments

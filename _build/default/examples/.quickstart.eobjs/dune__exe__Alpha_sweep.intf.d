@@ -1,0 +1,1 @@
+examples/alpha_sweep.mli:

@@ -1,0 +1,1 @@
+examples/bufferbloat.ml: Format List Utc_experiments Utc_stats Utc_tcp

@@ -1,0 +1,1 @@
+examples/intermittent_link.ml: Array Compiled Flow Format List Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim

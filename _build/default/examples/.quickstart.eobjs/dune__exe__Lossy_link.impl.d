@@ -1,0 +1,1 @@
+examples/lossy_link.ml: Compiled Flow Format List Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim Utc_tcp

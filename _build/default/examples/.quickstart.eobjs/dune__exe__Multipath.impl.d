@@ -1,0 +1,1 @@
+examples/multipath.ml: Compiled Flow Format List Packet Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim

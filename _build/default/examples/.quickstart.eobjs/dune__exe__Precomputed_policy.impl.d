@@ -1,0 +1,1 @@
+examples/precomputed_policy.ml: Format List Utc_experiments Utc_pomdp

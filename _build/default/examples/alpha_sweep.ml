@@ -1,0 +1,25 @@
+(* The paper's headline experiment (Figure 3), as an API walkthrough:
+   sweep the cross-traffic priority alpha and watch the sender's
+   deference change while everything else stays fixed.
+
+   Run with: dune exec examples/alpha_sweep.exe -- [duration] *)
+
+let () =
+  let duration =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 150.0
+  in
+  let alphas = [ 0.9; 1.0; 2.5; 5.0 ] in
+  Format.printf "sweeping alpha over %a for %.0f s each@."
+    Fmt.(list ~sep:comma float)
+    alphas duration;
+  let runs = Utc_experiments.Fig3_alpha.run_all ~duration ~alphas () in
+  Utc_experiments.Fig3_alpha.pp_report Format.std_formatter runs;
+  (* Under the hood: each run carries the full harness result. *)
+  List.iter
+    (fun (run : Utc_experiments.Fig3_alpha.run) ->
+      let result = run.Utc_experiments.Fig3_alpha.result in
+      Format.printf "alpha=%-4g wall=%.1fs final hypotheses=%d rejected-updates=%d@."
+        run.Utc_experiments.Fig3_alpha.alpha result.Utc_experiments.Harness.wall_seconds
+        (List.length result.Utc_experiments.Harness.final_posterior)
+        result.Utc_experiments.Harness.rejected_updates)
+    runs

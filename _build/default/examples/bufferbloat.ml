@@ -1,0 +1,29 @@
+(* Bufferbloat (paper §1, Figure 1): loss-based TCP fills any buffer you
+   give it; a delay-based sender does not. Runs Reno and Vegas over the
+   same deeply buffered LTE-like link and compares RTT distributions.
+
+   Run with: dune exec examples/bufferbloat.exe *)
+module Fig1 = Utc_experiments.Fig1_bufferbloat
+
+let run_with name make_cc =
+  let result = Fig1.run { Fig1.default with duration = 120.0; make_cc } in
+  let rtts = List.map snd result.Fig1.rtt in
+  (match Utc_stats.Summary.of_list rtts with
+  | Some summary -> Format.printf "%-6s %a@." name Utc_stats.Summary.pp summary
+  | None -> Format.printf "%-6s no samples@." name);
+  result
+
+let () =
+  Format.printf
+    "Reno vs Vegas over a 1 Mbit/s link with 3 s of buffer and a zealously@.";
+  Format.printf "retransmitting link layer (15%% radio loss hidden end-to-end):@.@.";
+  let reno = run_with "reno" (fun () -> Utc_tcp.Cc.reno ()) in
+  let vegas = run_with "vegas" (fun () -> Utc_tcp.Cc.vegas ()) in
+  Format.printf "@.goodput: reno %d pkts, vegas %d pkts@." reno.Fig1.delivered
+    vegas.Fig1.delivered;
+  Format.printf "@.%s@."
+    (Utc_stats.Ascii_plot.render ~x_label:"time (s)" ~y_label:"RTT (s)" ~log_y:true
+       [
+         { Utc_stats.Ascii_plot.label = "reno"; points = reno.Fig1.rtt };
+         { Utc_stats.Ascii_plot.label = "vegas"; points = vegas.Fig1.rtt };
+       ])

@@ -1,0 +1,27 @@
+(* §3.3: "the sender's algorithm need not be executed in real time. For a
+   particular model and distribution of possible states, there will be a
+   policy that can be computed in advance."
+
+   This example solves the discretized send/idle MDP for a sweep of
+   cross-traffic priorities, prints the resulting policies, and then runs
+   the alpha = 1 policy as a live sender (same Bayesian filter as the
+   ISender, table lookup instead of planning) against the online planner.
+
+   Run with: dune exec examples/precomputed_policy.exe *)
+
+let () =
+  Format.printf "Offline value iteration over the queue-occupancy MDP:@.@.";
+  List.iter
+    (fun alpha ->
+      let config = { Utc_pomdp.Sender_mdp.default with Utc_pomdp.Sender_mdp.alpha } in
+      let solution = Utc_pomdp.Sender_mdp.solve config in
+      Format.printf "  alpha=%-4g: send while occupancy < %d  (%d iterations)@." alpha
+        (Utc_pomdp.Sender_mdp.send_threshold solution)
+        solution.Utc_pomdp.Mdp.iterations)
+    [ 0.0; 0.5; 1.0; 2.5; 5.0 ];
+  Format.printf "@.full policy at alpha=1:@.";
+  Utc_pomdp.Sender_mdp.pp_policy Format.std_formatter
+    (Utc_pomdp.Sender_mdp.solve Utc_pomdp.Sender_mdp.default);
+  Format.printf "@.now driving a live sender with that table:@.@.";
+  Utc_experiments.Policy_bridge.pp_report Format.std_formatter
+    (Utc_experiments.Policy_bridge.compare_on_fig3 ~duration:150.0 ())

@@ -1,0 +1,1 @@
+lib/core/isender.ml: Evprio Float Flow List Logs Option Packet Planner Utc_inference Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/core/isender.mli: Planner Utc_inference Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Float List Utc_inference Utc_model Utc_net Utc_utility

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Utc_inference Utc_net Utc_sim Utc_utility

@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Flow Hashtbl List Packet Utc_elements Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Utc_elements Utc_net Utc_sim

@@ -1,0 +1,174 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+module Tb = Utc_sim.Timebase
+module Belief = Utc_inference.Belief
+
+let src = Logs.Src.create "utc.isender" ~doc:"Model-based transmission controller"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  flow : Flow.t;
+  bits : int;
+  planner : Planner.config;
+  min_sleep : float;
+  max_sleep : float;
+  burst_cap : int;
+}
+
+let default_config =
+  {
+    flow = Flow.Primary;
+    bits = Packet.default_bits;
+    planner = Planner.default_config;
+    min_sleep = 0.001;
+    max_sleep = 60.0;
+    burst_cap = 64;
+  }
+
+type 'p decider =
+  'p Belief.t ->
+  now:Tb.t ->
+  pending:(Tb.t * Packet.t) list ->
+  make_packet:(Tb.t -> Packet.t) ->
+  Planner.decision * Planner.evaluation list
+
+type 'p t = {
+  engine : Engine.t;
+  config : config;
+  decide : 'p decider;
+  inject : Packet.t -> unit;
+  mutable belief : 'p Belief.t;
+  mutable pending_sends : (Tb.t * Packet.t) list; (* newest first *)
+  mutable pending_acks : Belief.ack list; (* newest first *)
+  mutable next_seq : int;
+  mutable timer : Engine.handle option;
+  mutable wakeup_at : Tb.t option; (* immediate wakeup already queued for this instant *)
+  mutable sent : (Tb.t * int) list; (* newest first *)
+  mutable acked : (Tb.t * int) list; (* newest first *)
+  mutable rejected : int;
+  mutable last_evaluations : Planner.evaluation list;
+  mutable hooks : (Tb.t -> 'p t -> unit) list;
+  mutable running : bool;
+}
+
+let default_decider config belief ~now ~pending ~make_packet =
+  Planner.decide config.planner ~belief ~now ~pending ~make_packet
+
+let create ?decide engine config ~belief ~inject =
+  {
+    engine;
+    config;
+    decide = Option.value decide ~default:(default_decider config);
+    inject;
+    belief;
+    pending_sends = [];
+    pending_acks = [];
+    next_seq = 0;
+    timer = None;
+    wakeup_at = None;
+    sent = [];
+    acked = [];
+    rejected = 0;
+    last_evaluations = [];
+    hooks = [];
+    running = false;
+  }
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some handle ->
+    Engine.cancel handle;
+    t.timer <- None
+
+let transmit t now =
+  let pkt = Packet.make ~bits:t.config.bits ~flow:t.config.flow ~seq:t.next_seq ~sent_at:now () in
+  t.next_seq <- t.next_seq + 1;
+  t.pending_sends <- (now, pkt) :: t.pending_sends;
+  t.sent <- (now, pkt.Packet.seq) :: t.sent;
+  Log.debug (fun m -> m "t=%a send seq=%d" Tb.pp now pkt.Packet.seq);
+  t.inject pkt
+
+let rec wakeup t () =
+  if not t.running then ()
+  else begin
+  let now = Engine.now t.engine in
+  t.wakeup_at <- None;
+  cancel_timer t;
+  (* Job 1: filter the belief with everything seen since the last wakeup. *)
+  let sends = List.rev t.pending_sends in
+  let acks = List.rev t.pending_acks in
+  t.pending_sends <- [];
+  t.pending_acks <- [];
+  let belief, status =
+    Belief.update t.belief ~sends ~acks ~now ~now_prio:Evprio.endpoint_wakeup ()
+  in
+  t.belief <- belief;
+  let () =
+    match status with
+    | Belief.Consistent -> ()
+    | Belief.All_rejected ->
+      t.rejected <- t.rejected + 1;
+      Log.warn (fun m -> m "t=%a all configurations rejected; advanced unconditioned" Tb.pp now)
+  in
+  (* Job 2: act to maximize expected utility, possibly several sends in a
+     burst, then sleep. *)
+  let rec act burst =
+    if burst >= t.config.burst_cap then schedule_sleep t now t.config.min_sleep
+    else begin
+      let pending = List.rev t.pending_sends in
+      let make_packet at =
+        Packet.make ~bits:t.config.bits ~flow:t.config.flow ~seq:t.next_seq ~sent_at:at ()
+      in
+      let decision, evaluations = t.decide t.belief ~now ~pending ~make_packet in
+      t.last_evaluations <- evaluations;
+      match decision with
+      | Planner.Send_now ->
+        transmit t now;
+        act (burst + 1)
+      | Planner.Sleep d -> schedule_sleep t now d
+    end
+  in
+  act 0;
+  List.iter (fun f -> f now t) t.hooks
+  end
+
+and schedule_sleep t now d =
+  let d = Float.max t.config.min_sleep (Float.min d t.config.max_sleep) in
+  let at = Tb.add now d in
+  cancel_timer t;
+  t.timer <- Some (Engine.schedule ~prio:Evprio.endpoint_wakeup t.engine ~at (wakeup t))
+
+let start t =
+  let now = Engine.now t.engine in
+  t.running <- true;
+  t.wakeup_at <- Some now;
+  ignore (Engine.schedule ~prio:Evprio.endpoint_wakeup t.engine ~at:now (wakeup t))
+
+let on_ack t pkt =
+  if t.running then begin
+    let now = Engine.now t.engine in
+    t.pending_acks <- { Belief.seq = pkt.Packet.seq; time = now } :: t.pending_acks;
+    t.acked <- (now, pkt.Packet.seq) :: t.acked;
+    (* Batch all same-instant ACKs into one wakeup, after every network
+       event of this instant. *)
+    match t.wakeup_at with
+    | Some at when Tb.compare at now = 0 -> ()
+    | Some _ | None ->
+      t.wakeup_at <- Some now;
+      ignore (Engine.schedule ~prio:Evprio.endpoint_wakeup t.engine ~at:now (wakeup t))
+  end
+
+let stop t =
+  t.running <- false;
+  cancel_timer t;
+  t.wakeup_at <- None
+
+let belief t = t.belief
+let sent t = List.rev t.sent
+let acked t = List.rev t.acked
+let sent_count t = List.length t.sent
+let rejected_updates t = t.rejected
+let last_evaluations t = t.last_evaluations
+let on_wakeup t f = t.hooks <- f :: t.hooks

@@ -1,0 +1,126 @@
+module Forward = Utc_model.Forward
+module Belief = Utc_inference.Belief
+module Utility = Utc_utility.Utility
+
+type config = {
+  delays : float list;
+  horizon : float;
+  rollout : int;
+  top_hyps : int;
+  utility : Utility.config;
+  tie_epsilon : float;
+}
+
+let default_config =
+  {
+    delays = [ 0.0; 0.25; 0.5; 1.0; 1.5; 2.0; 3.0; 5.0; 8.0; 12.0; 20.0; 32.0 ];
+    horizon = 15.0;
+    rollout = 0;
+    top_hyps = 64;
+    utility = Utility.default;
+    tie_epsilon = 1e-3;
+  }
+
+(* Belief-expected service time at the first station of each hypothesis'
+   model; 1 s when the family has no station. *)
+let expected_service belief =
+  let hyps = Belief.top belief ~n:64 in
+  let z = Utc_inference.Logw.logsumexp (List.map (fun h -> h.Belief.logw) hyps) in
+  let rate =
+    List.fold_left
+      (fun acc (h : _ Belief.hypothesis) ->
+        let compiled = Forward.compiled_of h.Belief.prepared in
+        let station_rate =
+          match Utc_net.Compiled.station_ids compiled with
+          | station :: _ -> (
+            match Utc_net.Compiled.node compiled station with
+            | Utc_net.Compiled.Station { rate_bps; _ } -> rate_bps
+            | Utc_net.Compiled.Delay _ | Utc_net.Compiled.Loss _ | Utc_net.Compiled.Jitter _
+            | Utc_net.Compiled.Gate _ | Utc_net.Compiled.Either _ | Utc_net.Compiled.Divert _
+            | Utc_net.Compiled.Multipath _ ->
+              0.0)
+          | [] -> 0.0
+        in
+        acc +. (exp (h.Belief.logw -. z) *. station_rate))
+      0.0 hyps
+  in
+  if rate > 0.0 then float_of_int Utc_net.Packet.default_bits /. rate else 1.0
+
+let suggest_delays belief =
+  let service = expected_service belief in
+  0.0 :: List.map (fun m -> m *. service) [ 0.5; 1.0; 1.5; 2.0; 2.5; 3.33; 5.0; 8.0; 12.0; 20.0; 32.0 ]
+
+type decision =
+  | Send_now
+  | Sleep of float
+
+type evaluation = {
+  delay : float;
+  net_utility : float;
+}
+
+let validate config =
+  match config.delays with
+  | 0.0 :: rest when List.for_all (fun d -> d > 0.0) rest ->
+    if config.horizon <= 0.0 then invalid_arg "Planner: horizon must be positive"
+  | [] | _ :: _ -> invalid_arg "Planner: delays must start with 0 and be positive afterwards"
+
+let smallest_positive delays =
+  match List.filter (fun d -> d > 0.0) delays with
+  | [] -> 1.0
+  | d :: _ -> d
+
+(* Candidate strategy [d]: the next packet at [now + d], plus [rollout]
+   further packets at the same spacing, clipped to the horizon. *)
+let strategy_sends config ~now ~make_packet d ~t_end =
+  let spacing = Float.max d (smallest_positive config.delays) in
+  let rec build k acc =
+    if k > config.rollout then List.rev acc
+    else begin
+      let at = now +. d +. (float_of_int k *. spacing) in
+      if at > t_end then List.rev acc else build (k + 1) ((at, make_packet at) :: acc)
+    end
+  in
+  build 0 []
+
+let decide config ~belief ~now ~pending ~make_packet =
+  validate config;
+  let hyps = Belief.top belief ~n:config.top_hyps in
+  let max_delay = List.fold_left Float.max 0.0 config.delays in
+  if hyps = [] then (Sleep max_delay, [])
+  else begin
+    let z = Utc_inference.Logw.logsumexp (List.map (fun h -> h.Belief.logw) hyps) in
+    let t_end = now +. max_delay +. config.horizon in
+    let candidates = Array.of_list config.delays in
+    let n = Array.length candidates in
+    let net = Array.make n 0.0 in
+    let price hyp =
+      let weight = exp (hyp.Belief.logw -. z) in
+      let plan_config = { (Forward.config_of hyp.Belief.prepared) with Forward.fork_gates = false } in
+      let prepared = Forward.prepare plan_config (Forward.compiled_of hyp.Belief.prepared) in
+      let utility_of sends =
+        let outcomes = Forward.run prepared hyp.Belief.state ~sends ~until:t_end in
+        Utility.of_outcomes config.utility ~now outcomes
+      in
+      let baseline = utility_of pending in
+      Array.iteri
+        (fun i d ->
+          let sends = pending @ strategy_sends config ~now ~make_packet d ~t_end in
+          net.(i) <- net.(i) +. (weight *. (utility_of sends -. baseline)))
+        candidates
+    in
+    List.iter price hyps;
+    let evaluations =
+      Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates)
+    in
+    let best = Array.fold_left Float.max neg_infinity net in
+    if best <= 0.0 then (Sleep max_delay, evaluations)
+    else begin
+      (* Latest candidate within the tie band of the best. *)
+      let threshold = best -. (config.tie_epsilon *. best) in
+      let chosen = ref 0 in
+      Array.iteri (fun i _ -> if net.(i) >= threshold then chosen := i) candidates;
+      let d = candidates.(!chosen) in
+      if d = 0.0 then (Send_now, evaluations) else (Sleep d, evaluations)
+    end
+  end

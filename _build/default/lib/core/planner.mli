@@ -1,0 +1,68 @@
+(** The ISender's decision procedure (§3.2, task 2).
+
+    At a wakeup the sender "makes a list of strategies including sending
+    immediately and at every delay up to the slowest rate [it] could
+    optimally send", prices each strategy on every plausible network
+    configuration, and picks the strategy with the highest expected
+    utility.
+
+    Pricing a strategy [d]: inject the next packet at [now + d] (plus, if
+    rollout is enabled, further packets at the same spacing) into each of
+    the belief's heaviest hypotheses, run the forking simulator to a
+    common horizon, and take the expected utility of all deliveries in the
+    window, minus the no-send baseline. Gates are frozen in their current
+    state during planning (certainty-equivalent over the gate process —
+    the mixture across hypotheses still carries gate uncertainty); loss is
+    handled in expectation.
+
+    Tie-breaking prefers the {e latest} candidate within [tie_epsilon] of
+    the best, which is what makes the sender fill residual capacity rather
+    than stand in the queue: delaying until the queue drains costs
+    [O(d/kappa)] while queue-standing harms cross traffic by the same
+    order, so at [alpha = 1] the two cancel and the tie resolves to
+    deference (§4). *)
+
+type config = {
+  delays : float list;
+      (** Candidate extra delays, ascending, first must be [0.]. *)
+  horizon : float;  (** Simulated seconds past the last candidate. *)
+  rollout : int;
+      (** Extra future sends assumed after the decided one (0 = price a
+          single decision, the paper's formulation). *)
+  top_hyps : int;  (** Hypotheses used (heaviest first, renormalized). *)
+  utility : Utc_utility.Utility.config;
+  tie_epsilon : float;
+      (** Relative to the best net utility; see tie-breaking above. *)
+}
+
+val default_config : config
+(** Delays 0..32 s on a rough geometric grid, 15 s horizon, no rollout,
+    64 hypotheses, default utility, [tie_epsilon = 1e-3]. *)
+
+val suggest_delays : 'p Utc_inference.Belief.t -> float list
+(** Candidate delays scaled to the belief: multiples of the expected
+    bottleneck service time, from 0 to 32 service times ("every delay up
+    to the slowest rate the ISender could optimally send"). Use when the
+    link timescale is not known a priori. *)
+
+type decision =
+  | Send_now
+  | Sleep of float  (** Re-plan after this many seconds (> 0). *)
+
+type evaluation = {
+  delay : float;
+  net_utility : float;  (** Expected utility minus the no-send baseline. *)
+}
+
+val decide :
+  config ->
+  belief:'p Utc_inference.Belief.t ->
+  now:Utc_sim.Timebase.t ->
+  pending:(Utc_sim.Timebase.t * Utc_net.Packet.t) list ->
+  make_packet:(Utc_sim.Timebase.t -> Utc_net.Packet.t) ->
+  decision * evaluation list
+(** [pending] are transmissions not yet absorbed into the belief (this
+    wakeup's earlier sends); [make_packet at] builds the next packet as if
+    sent at [at]. Returns the decision and the per-candidate evaluations
+    (for logging and the experiment traces). If no candidate nets positive
+    utility the decision is to sleep until the last candidate. *)

@@ -1,0 +1,76 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+module Runtime = Utc_elements.Runtime
+
+type t = {
+  engine : Engine.t;
+  mutable deliveries : (Utc_sim.Timebase.t * Packet.t) list; (* newest first *)
+  mutable drops : (Utc_sim.Timebase.t * int * Runtime.drop_reason * Packet.t) list;
+  mutable queue_traces : (int * (Utc_sim.Timebase.t * int)) list; (* newest first *)
+  subscribers : (Flow.t, (Utc_sim.Timebase.t -> Packet.t -> unit) list ref) Hashtbl.t;
+}
+
+let create engine =
+  {
+    engine;
+    deliveries = [];
+    drops = [];
+    queue_traces = [];
+    subscribers = Hashtbl.create 4;
+  }
+
+let subscribe t flow f =
+  match Hashtbl.find_opt t.subscribers flow with
+  | Some subs -> subs := f :: !subs
+  | None -> Hashtbl.replace t.subscribers flow (ref [ f ])
+
+let callbacks t =
+  let deliver flow pkt =
+    let now = Engine.now t.engine in
+    t.deliveries <- (now, pkt) :: t.deliveries;
+    match Hashtbl.find_opt t.subscribers flow with
+    | None -> ()
+    | Some subs -> List.iter (fun f -> f now pkt) (List.rev !subs)
+  in
+  let on_drop ~node_id ~reason pkt =
+    t.drops <- (Engine.now t.engine, node_id, reason, pkt) :: t.drops
+  in
+  let on_queue ~node_id ~bits ~packets:_ =
+    t.queue_traces <- (node_id, (Engine.now t.engine, bits)) :: t.queue_traces
+  in
+  Runtime.callbacks ~deliver ~on_drop ~on_queue ()
+
+let deliveries t flow =
+  List.rev
+    (List.filter (fun (_, pkt) -> Flow.equal pkt.Packet.flow flow) t.deliveries)
+
+let delivered_count t flow =
+  List.fold_left
+    (fun acc (_, pkt) -> if Flow.equal pkt.Packet.flow flow then acc + 1 else acc)
+    0 t.deliveries
+
+let drops t = List.rev t.drops
+
+let queue_trace t ~node_id =
+  List.rev
+    (List.filter_map
+       (fun (id, sample) -> if id = node_id then Some sample else None)
+       t.queue_traces)
+
+let throughput t flow ~since ~until =
+  let span = until -. since in
+  if span <= 0.0 then 0.0
+  else begin
+    let bits =
+      List.fold_left
+        (fun acc (time, pkt) ->
+          if
+            Flow.equal pkt.Packet.flow flow
+            && Utc_sim.Timebase.( >=. ) time since
+            && Utc_sim.Timebase.( <=. ) time until
+          then acc + pkt.Packet.bits
+          else acc)
+        0 t.deliveries
+    in
+    float_of_int bits /. span
+  end

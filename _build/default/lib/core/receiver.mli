@@ -1,0 +1,34 @@
+(** Instrumentation hub: receivers, drop log, queue trace.
+
+    The paper's RECEIVER "accumulates packets and wakes up the SENDER for
+    each one" (§3.4). This hub plays every flow's receiver at once: it
+    produces the {!Utc_elements.Runtime.callbacks} for a ground-truth
+    network, records all deliveries, drops and queue-occupancy changes,
+    and lets senders subscribe to their flow's deliveries — the instant,
+    lossless acknowledgment path of the paper's preliminary setup. *)
+
+type t
+
+val create : Utc_sim.Engine.t -> t
+
+val callbacks : t -> Utc_elements.Runtime.callbacks
+(** Pass to {!Utc_elements.Runtime.build}. *)
+
+val subscribe : t -> Utc_net.Flow.t -> (Utc_sim.Timebase.t -> Utc_net.Packet.t -> unit) -> unit
+(** Called synchronously on each delivery of the flow (the wake-up). *)
+
+val deliveries : t -> Utc_net.Flow.t -> (Utc_sim.Timebase.t * Utc_net.Packet.t) list
+(** Oldest first. *)
+
+val delivered_count : t -> Utc_net.Flow.t -> int
+
+val drops :
+  t ->
+  (Utc_sim.Timebase.t * int * Utc_elements.Runtime.drop_reason * Utc_net.Packet.t) list
+(** Oldest first: time, node id, reason, packet. *)
+
+val queue_trace : t -> node_id:int -> (Utc_sim.Timebase.t * int) list
+(** Queued bits over time at a station, oldest first. *)
+
+val throughput : t -> Utc_net.Flow.t -> since:Utc_sim.Timebase.t -> until:Utc_sim.Timebase.t -> float
+(** Delivered bits per second of the flow over a window. *)

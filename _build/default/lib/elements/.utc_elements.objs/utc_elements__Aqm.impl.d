@@ -1,0 +1,1 @@
+lib/elements/aqm.ml: Fifo_server Float Node Packet Utc_net Utc_sim

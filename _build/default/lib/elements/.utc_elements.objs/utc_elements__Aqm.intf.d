@@ -1,0 +1,1 @@
+lib/elements/aqm.mli: Node Utc_net Utc_sim

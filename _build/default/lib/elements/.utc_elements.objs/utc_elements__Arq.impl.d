@@ -1,0 +1,1 @@
+lib/elements/arq.ml: Fifo_server Hashtbl Node Packet Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/arq.mli: Node Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/fifo_server.ml: Evprio Node Option Packet Queue Utc_net Utc_sim

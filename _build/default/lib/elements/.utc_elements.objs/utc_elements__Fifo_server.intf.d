@@ -1,0 +1,1 @@
+lib/elements/fifo_server.mli: Node Utc_net Utc_sim

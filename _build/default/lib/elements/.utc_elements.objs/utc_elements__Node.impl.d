@@ -1,0 +1,1 @@
+lib/elements/node.ml: List Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/node.mli: Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/runtime.ml: Array Compiled Evprio Flow Format List Node Option Packet Queue Utc_net Utc_sim

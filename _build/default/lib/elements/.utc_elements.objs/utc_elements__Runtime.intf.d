@@ -1,0 +1,1 @@
+lib/elements/runtime.mli: Format Node Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/sched.ml: Evprio Flow Hashtbl Node Packet Queue Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/elements/sched.mli: Node Utc_net Utc_sim

@@ -1,0 +1,170 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+module Rng = Utc_sim.Rng
+
+type red_params = {
+  min_threshold_bits : int;
+  max_threshold_bits : int;
+  max_probability : float;
+  weight : float;
+  capacity_bits : int;
+}
+
+let default_red ~capacity_bits =
+  {
+    min_threshold_bits = capacity_bits / 4;
+    max_threshold_bits = capacity_bits * 3 / 4;
+    max_probability = 0.1;
+    weight = 0.002;
+    capacity_bits;
+  }
+
+type codel_params = {
+  target : float;
+  interval : float;
+  capacity_bits : int;
+}
+
+let default_codel ~capacity_bits = { target = 0.005; interval = 0.1; capacity_bits }
+
+type t = {
+  server : Fifo_server.t;
+  push : Packet.t -> unit;
+  drop_total : unit -> int;
+}
+
+let node t = { Node.push = t.push }
+let queued_bits t = Fifo_server.queued_bits t.server
+let drops t = t.drop_total ()
+
+(* --- RED --- *)
+
+type red_state = {
+  mutable avg_bits : float;
+  mutable since_last_drop : int; (* RED's "count" for spacing early drops *)
+}
+
+let red engine ~rate_bps ~params ?(on_drop = fun _ -> ()) ~next () =
+  let server = Fifo_server.create engine ~rate_bps ~next () in
+  let rng = Rng.split (Engine.rng engine) in
+  let state = { avg_bits = 0.0; since_last_drop = -1 } in
+  let drop_count = ref 0 in
+  let drop pkt =
+    incr drop_count;
+    on_drop pkt
+  in
+  let push pkt =
+    let occupancy = Fifo_server.queued_bits server in
+    (* While the queue was idle the average decays as if empty packets had
+       been transmitted; the standard approximation uses the idle period
+       over the mean transmission time. *)
+    let () =
+      match Fifo_server.idle_since server with
+      | Some since when occupancy = 0 ->
+        let idle = Engine.now engine -. since in
+        let mean_tx = float_of_int Packet.default_bits /. rate_bps in
+        let m = idle /. mean_tx in
+        state.avg_bits <- state.avg_bits *. ((1.0 -. params.weight) ** m)
+      | Some _ | None ->
+        state.avg_bits <-
+          ((1.0 -. params.weight) *. state.avg_bits)
+          +. (params.weight *. float_of_int occupancy)
+    in
+    if occupancy + pkt.Packet.bits > params.capacity_bits then drop pkt
+    else if state.avg_bits >= float_of_int params.max_threshold_bits then begin
+      state.since_last_drop <- 0;
+      drop pkt
+    end
+    else if state.avg_bits > float_of_int params.min_threshold_bits then begin
+      state.since_last_drop <- state.since_last_drop + 1;
+      let span = float_of_int (params.max_threshold_bits - params.min_threshold_bits) in
+      let base =
+        params.max_probability
+        *. ((state.avg_bits -. float_of_int params.min_threshold_bits) /. span)
+      in
+      let scaled = base /. Float.max 1e-9 (1.0 -. (float_of_int state.since_last_drop *. base)) in
+      let p = Float.min 1.0 (Float.max 0.0 scaled) in
+      if Rng.bernoulli rng ~p then begin
+        state.since_last_drop <- 0;
+        drop pkt
+      end
+      else Fifo_server.push server pkt
+    end
+    else begin
+      state.since_last_drop <- -1;
+      Fifo_server.push server pkt
+    end
+  in
+  { server; push; drop_total = (fun () -> !drop_count) }
+
+(* --- CoDel --- *)
+
+type codel_state = {
+  mutable first_above_time : float option;
+  mutable dropping : bool;
+  mutable drop_next : float;
+  mutable recent_drops : int; (* "count": drops in the current dropping state *)
+}
+
+let codel engine ~rate_bps ~params ?(on_drop = fun _ -> ()) ~next () =
+  let state = { first_above_time = None; dropping = false; drop_next = 0.0; recent_drops = 0 } in
+  let control_law count = params.interval /. sqrt (float_of_int count) in
+  let drop_count = ref 0 in
+  let record_drop pkt =
+    incr drop_count;
+    on_drop pkt
+  in
+  (* Decide whether the packet coming up for service should be dropped, per
+     the CoDel pseudocode: sojourn below target (or queue nearly empty)
+     resets the above-target clock; staying above target for a full
+     interval enters the dropping state, whose drops accelerate with
+     count. *)
+  let server = ref None in
+  let should_drop ~now ~sojourn =
+    let queued_bits =
+      match !server with
+      | Some s -> Fifo_server.queued_bits s
+      | None -> 0
+    in
+    if sojourn < params.target || queued_bits <= Packet.default_bits then begin
+      state.first_above_time <- None;
+      if state.dropping then state.dropping <- false;
+      false
+    end
+    else begin
+      match state.first_above_time with
+      | None ->
+        state.first_above_time <- Some (now +. params.interval);
+        false
+      | Some first_above ->
+        if state.dropping then
+          if now >= state.drop_next then begin
+            state.recent_drops <- state.recent_drops + 1;
+            state.drop_next <- now +. control_law state.recent_drops;
+            true
+          end
+          else false
+        else if now >= first_above then begin
+          state.dropping <- true;
+          state.recent_drops <- 1;
+          state.drop_next <- now +. control_law 1;
+          true
+        end
+        else false
+    end
+  in
+  let on_dequeue pkt ~enqueued_at =
+    let now = Engine.now engine in
+    if should_drop ~now ~sojourn:(now -. enqueued_at) then begin
+      record_drop pkt;
+      `Drop
+    end
+    else `Forward
+  in
+  let s = Fifo_server.create engine ~rate_bps ~next ~on_dequeue () in
+  server := Some s;
+  let push pkt =
+    if Fifo_server.queued_bits s + pkt.Packet.bits > params.capacity_bits then record_drop pkt
+    else Fifo_server.push s pkt
+  in
+  { server = s; push; drop_total = (fun () -> !drop_count) }

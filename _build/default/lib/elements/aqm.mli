@@ -1,0 +1,51 @@
+(** Active queue management stations (extension, paper §3.5).
+
+    RED (Floyd & Jacobson 1993) drops probabilistically as the averaged
+    queue grows; CoDel (Nichols & Jacobson 2012) drops at dequeue when the
+    standing sojourn time stays above target. Both wrap {!Fifo_server} and
+    are used by the AQM ablation benchmark to show how in-network queue
+    management changes the bufferbloat picture of Figure 1. *)
+
+type red_params = {
+  min_threshold_bits : int;  (** Below: never drop. *)
+  max_threshold_bits : int;  (** Above: always drop. *)
+  max_probability : float;  (** Drop probability at [max_threshold_bits]. *)
+  weight : float;  (** EWMA weight for the averaged queue, e.g. 0.002. *)
+  capacity_bits : int;  (** Hard tail-drop backstop. *)
+}
+
+val default_red : capacity_bits:int -> red_params
+(** Thresholds at 25 % and 75 % of capacity, max probability 0.1,
+    weight 0.002. *)
+
+type codel_params = {
+  target : float;  (** Acceptable standing delay, seconds (5 ms default). *)
+  interval : float;  (** Sliding window, seconds (100 ms default). *)
+  capacity_bits : int;
+}
+
+val default_codel : capacity_bits:int -> codel_params
+
+type t
+
+val red :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  params:red_params ->
+  ?on_drop:(Utc_net.Packet.t -> unit) ->
+  next:Node.t ->
+  unit ->
+  t
+
+val codel :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  params:codel_params ->
+  ?on_drop:(Utc_net.Packet.t -> unit) ->
+  next:Node.t ->
+  unit ->
+  t
+
+val node : t -> Node.t
+val queued_bits : t -> int
+val drops : t -> int

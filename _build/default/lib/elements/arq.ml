@@ -1,0 +1,72 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+module Rng = Utc_sim.Rng
+
+type t = {
+  server : Fifo_server.t;
+  push : Packet.t -> unit;
+  tx_total : unit -> int;
+  drop_total : unit -> int;
+}
+
+let create engine ~rate_bps ~try_loss ?(per_try_overhead = 0.0) ?(max_tries = 100)
+    ?capacity_bits ?(on_drop = fun _ -> ()) ~next () =
+  if try_loss < 0.0 || try_loss >= 1.0 then invalid_arg "Arq.create: try_loss must be in [0, 1)";
+  let rng = Rng.split (Engine.rng engine) in
+  let transmissions = ref 0 in
+  let dropped = ref 0 in
+  let abandoned : (Packet.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* [Some n]: success on attempt [n]; [None]: abandoned after
+     [max_tries] failed attempts. *)
+  let sample_tries () =
+    let rec attempt n =
+      if n > max_tries then None
+      else if Rng.bernoulli rng ~p:try_loss then attempt (n + 1)
+      else Some n
+    in
+    attempt 1
+  in
+  let service_time pkt =
+    let tries =
+      match sample_tries () with
+      | Some n -> n
+      | None ->
+        (* Abandon: still occupies the link for all attempts, then
+           vanishes instead of being forwarded. *)
+        Hashtbl.replace abandoned pkt ();
+        incr dropped;
+        max_tries
+    in
+    transmissions := !transmissions + tries;
+    float_of_int tries *. ((float_of_int pkt.Packet.bits /. rate_bps) +. per_try_overhead)
+  in
+  let forward =
+    {
+      Node.push =
+        (fun pkt ->
+          if Hashtbl.mem abandoned pkt then begin
+            Hashtbl.remove abandoned pkt;
+            on_drop pkt
+          end
+          else next.Node.push pkt);
+    }
+  in
+  let server = Fifo_server.create engine ~rate_bps ~next:forward ~service_time () in
+  let push pkt =
+    match capacity_bits with
+    | Some cap when Fifo_server.queued_bits server + pkt.Packet.bits > cap ->
+      incr dropped;
+      on_drop pkt
+    | Some _ | None -> Fifo_server.push server pkt
+  in
+  {
+    server;
+    push;
+    tx_total = (fun () -> !transmissions);
+    drop_total = (fun () -> !dropped);
+  }
+
+let node t = { Node.push = t.push }
+let queued_bits t = Fifo_server.queued_bits t.server
+let transmissions t = t.tx_total ()
+let drops t = t.drop_total ()

@@ -1,0 +1,36 @@
+(** Link-layer ARQ: a lossy link that hides its losses (§1, §2).
+
+    Models the "zealously retransmitting" subnetworks the paper criticizes
+    (cellular links, 802.11): each transmission attempt fails independently
+    with [try_loss]; the link retransmits until success (or [max_tries]),
+    so upper layers see almost no loss — only inflated, highly variable
+    delay. Built on {!Fifo_server} with a sampled per-packet service time
+    of [tries * (bits/rate + per_try_overhead)].
+
+    Used by the Figure 1 substitute to reproduce LTE-like multi-second
+    round-trip times without modeling a radio. *)
+
+type t
+
+val create :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  try_loss:float ->
+  ?per_try_overhead:float ->
+  ?max_tries:int ->
+  ?capacity_bits:int ->
+  ?on_drop:(Utc_net.Packet.t -> unit) ->
+  next:Node.t ->
+  unit ->
+  t
+(** [per_try_overhead] defaults to 0; [max_tries] to 100 (beyond which the
+    packet is finally lost); [capacity_bits] to unbounded. *)
+
+val node : t -> Node.t
+val queued_bits : t -> int
+
+val transmissions : t -> int
+(** Total transmission attempts, for computing the retransmission rate. *)
+
+val drops : t -> int
+(** Packets abandoned after [max_tries] or tail-dropped. *)

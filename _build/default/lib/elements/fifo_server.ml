@@ -1,0 +1,73 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+
+type dequeue_decision =
+  [ `Forward
+  | `Drop
+  ]
+
+type t = {
+  engine : Engine.t;
+  rate_bps : float;
+  next : Node.t;
+  service_time : Packet.t -> float;
+  on_dequeue : Packet.t -> enqueued_at:Utc_sim.Timebase.t -> dequeue_decision;
+  queue : (Packet.t * Utc_sim.Timebase.t) Queue.t;
+  mutable queued_bits : int;
+  mutable busy : bool;
+  mutable idle_since : Utc_sim.Timebase.t option;
+}
+
+let create engine ~rate_bps ~next ?service_time ?on_dequeue () =
+  if rate_bps <= 0.0 then invalid_arg "Fifo_server.create: rate must be positive";
+  let default_service pkt = float_of_int pkt.Packet.bits /. rate_bps in
+  {
+    engine;
+    rate_bps;
+    next;
+    service_time = Option.value service_time ~default:default_service;
+    on_dequeue = Option.value on_dequeue ~default:(fun _ ~enqueued_at:_ -> `Forward);
+    queue = Queue.create ();
+    queued_bits = 0;
+    busy = false;
+    idle_since = Some Utc_sim.Timebase.zero;
+  }
+
+let rec start_service t pkt =
+  t.busy <- true;
+  t.idle_since <- None;
+  let complete () =
+    t.busy <- false;
+    t.next.Node.push pkt;
+    dequeue_next t
+  in
+  ignore
+    (Engine.schedule_after ~prio:Evprio.service_complete t.engine ~delay:(t.service_time pkt)
+       complete)
+
+and dequeue_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.idle_since <- Some (Engine.now t.engine)
+  | Some (pkt, enqueued_at) -> (
+    t.queued_bits <- t.queued_bits - pkt.Packet.bits;
+    match t.on_dequeue pkt ~enqueued_at with
+    | `Forward -> start_service t pkt
+    | `Drop -> dequeue_next t)
+
+let push t pkt =
+  let now = Engine.now t.engine in
+  if (not t.busy) && Queue.is_empty t.queue then begin
+    match t.on_dequeue pkt ~enqueued_at:now with
+    | `Forward -> start_service t pkt
+    | `Drop -> ()
+  end
+  else begin
+    Queue.push (pkt, now) t.queue;
+    t.queued_bits <- t.queued_bits + pkt.Packet.bits
+  end
+
+let node t = { Node.push = (fun pkt -> push t pkt) }
+let queued_bits t = t.queued_bits
+let queue_len t = Queue.length t.queue
+let busy t = t.busy
+let idle_since t = t.idle_since

@@ -1,0 +1,40 @@
+(** FIFO queue drained by a rate server, with policy hooks.
+
+    The building block for the extension elements the paper lists as
+    missing (§3.5): AQM wraps the enqueue side, CoDel the dequeue side,
+    link-layer ARQ overrides the service time. Admission is unconditional —
+    callers implement their own drop policy before {!push}. *)
+
+type t
+
+type dequeue_decision =
+  [ `Forward
+  | `Drop  (** CoDel-style drop at dequeue. *)
+  ]
+
+val create :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  next:Node.t ->
+  ?service_time:(Utc_net.Packet.t -> float) ->
+  ?on_dequeue:(Utc_net.Packet.t -> enqueued_at:Utc_sim.Timebase.t -> dequeue_decision) ->
+  unit ->
+  t
+(** [service_time] defaults to [bits / rate_bps]. [on_dequeue] is consulted
+    when a packet is taken from the queue for service (and for a packet
+    that begins service immediately on arrival); default [`Forward]. *)
+
+val push : t -> Utc_net.Packet.t -> unit
+
+val node : t -> Node.t
+
+val queued_bits : t -> int
+(** Excludes the packet in service. *)
+
+val queue_len : t -> int
+
+val busy : t -> bool
+
+val idle_since : t -> Utc_sim.Timebase.t option
+(** Time the server last went idle with an empty queue; [None] while
+    busy. Used by RED's idle-period averaging. *)

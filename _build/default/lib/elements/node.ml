@@ -1,0 +1,16 @@
+type t = { push : Utc_net.Packet.t -> unit }
+
+let sink = { push = ignore }
+let of_fn f = { push = f }
+
+let tap f next =
+  let push pkt =
+    f pkt;
+    next.push pkt
+  in
+  { push }
+
+let collector engine =
+  let arrivals = ref [] in
+  let push pkt = arrivals := (Utc_sim.Engine.now engine, pkt) :: !arrivals in
+  ({ push }, fun () -> List.rev !arrivals)

@@ -1,0 +1,22 @@
+(** Minimal live-element interface.
+
+    A node is anything that can be handed a packet at the engine's current
+    time. The AST runtime ({!Runtime}) compiles a whole network to nodes;
+    the AQM, scheduling and ARQ extension elements build nodes directly so
+    that experiments can wire graphs the topology language does not cover. *)
+
+type t = { push : Utc_net.Packet.t -> unit }
+
+val sink : t
+(** Discards every packet. *)
+
+val of_fn : (Utc_net.Packet.t -> unit) -> t
+
+val tap : (Utc_net.Packet.t -> unit) -> t -> t
+(** [tap f next] calls [f] on each packet, then forwards it to [next]. *)
+
+val collector :
+  Utc_sim.Engine.t -> t * (unit -> (Utc_sim.Timebase.t * Utc_net.Packet.t) list)
+(** A terminal that records each packet with its arrival time (the
+    engine's clock at push). Returns the node and a function producing the
+    arrivals so far, oldest first. *)

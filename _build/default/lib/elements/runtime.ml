@@ -1,0 +1,238 @@
+open Utc_net
+
+module Engine = Utc_sim.Engine
+module Rng = Utc_sim.Rng
+
+type drop_reason =
+  | Tail_drop
+  | Stochastic_loss
+  | Gate_closed
+
+let pp_drop_reason ppf reason =
+  let text =
+    match reason with
+    | Tail_drop -> "tail_drop"
+    | Stochastic_loss -> "stochastic_loss"
+    | Gate_closed -> "gate_closed"
+  in
+  Format.pp_print_string ppf text
+
+type callbacks = {
+  deliver : Flow.t -> Packet.t -> unit;
+  on_drop : node_id:int -> reason:drop_reason -> Packet.t -> unit;
+  on_queue : node_id:int -> bits:int -> packets:int -> unit;
+}
+
+let callbacks ?deliver ?on_drop ?on_queue () =
+  {
+    deliver = Option.value deliver ~default:(fun _ _ -> ());
+    on_drop = Option.value on_drop ~default:(fun ~node_id:_ ~reason:_ _ -> ());
+    on_queue = Option.value on_queue ~default:(fun ~node_id:_ ~bits:_ ~packets:_ -> ());
+  }
+
+type station_state = {
+  queue : Packet.t Queue.t;
+  mutable queued_bits : int;
+  mutable busy : bool;
+}
+
+type nstate =
+  | SStation of station_state
+  | SGate of { mutable connected : bool }
+  | SEither of { mutable on_first : bool }
+  | SMultipath of { mutable next_first : bool }
+  | SStateless
+
+type t = {
+  engine : Engine.t;
+  compiled : Compiled.t;
+  states : nstate array;
+  rngs : Rng.t array;
+  cb : callbacks;
+}
+
+(* Packet arrivals are processed synchronously: an event at time t whose
+   consequence is an arrival elsewhere at the same t continues inline, so
+   the canonical order of Evprio only has to arbitrate between events that
+   were scheduled for the future. The belief-state interpreter follows the
+   same convention. *)
+let rec arrive t link pkt =
+  match (link : Compiled.link) with
+  | Deliver -> t.cb.deliver pkt.Packet.flow pkt
+  | To id -> (
+    match Compiled.node t.compiled id with
+    | Station { capacity_bits; rate_bps; next } -> station_arrive t id capacity_bits rate_bps next pkt
+    | Delay { seconds; next } ->
+      let prio = Evprio.arrival pkt.Packet.flow in
+      ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
+    | Loss { rate; next } ->
+      if Rng.bernoulli t.rngs.(id) ~p:rate then t.cb.on_drop ~node_id:id ~reason:Stochastic_loss pkt
+      else arrive t next pkt
+    | Jitter { seconds; probability; next } ->
+      if Rng.bernoulli t.rngs.(id) ~p:probability then begin
+        let prio = Evprio.arrival pkt.Packet.flow in
+        ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
+      end
+      else arrive t next pkt
+    | Gate { kind = _; next } -> (
+      match t.states.(id) with
+      | SGate g -> if g.connected then arrive t next pkt else t.cb.on_drop ~node_id:id ~reason:Gate_closed pkt
+      | SStation _ | SEither _ | SMultipath _ | SStateless -> assert false)
+    | Either { first; second; _ } -> (
+      match t.states.(id) with
+      | SEither e -> arrive t (if e.on_first then first else second) pkt
+      | SStation _ | SGate _ | SMultipath _ | SStateless -> assert false)
+    | Divert { routes; otherwise } ->
+      let rec route = function
+        | [] -> arrive t otherwise pkt
+        | (flow, target) :: rest ->
+          if Flow.equal flow pkt.Packet.flow then arrive t target pkt else route rest
+      in
+      route routes
+    | Multipath { policy; first; second } -> (
+      match t.states.(id), policy with
+      | SMultipath m, `Round_robin ->
+        let target = if m.next_first then first else second in
+        m.next_first <- not m.next_first;
+        arrive t target pkt
+      | SMultipath _, `Random p ->
+        arrive t (if Rng.bernoulli t.rngs.(id) ~p then first else second) pkt
+      | (SStation _ | SGate _ | SEither _ | SStateless), _ -> assert false))
+
+and station_arrive t id capacity_bits rate_bps next pkt =
+  match t.states.(id) with
+  | SStation s ->
+    if (not s.busy) && Queue.is_empty s.queue then start_service t id s rate_bps next pkt
+    else begin
+      let fits =
+        match capacity_bits with
+        | None -> true
+        | Some cap -> s.queued_bits + pkt.Packet.bits <= cap
+      in
+      if fits then begin
+        Queue.push pkt s.queue;
+        s.queued_bits <- s.queued_bits + pkt.Packet.bits;
+        t.cb.on_queue ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue)
+      end
+      else t.cb.on_drop ~node_id:id ~reason:Tail_drop pkt
+    end
+  | SGate _ | SEither _ | SMultipath _ | SStateless -> assert false
+
+and start_service t id s rate_bps next pkt =
+  s.busy <- true;
+  let service_time = float_of_int pkt.Packet.bits /. rate_bps in
+  (* On completion the next service starts BEFORE the served packet is
+     forwarded: forwarding can reach a receiver whose sender synchronously
+     injects a new packet back into this station, and that packet must see
+     the post-dequeue state. The belief-state interpreter mirrors this
+     order. *)
+  let complete () =
+    s.busy <- false;
+    let () =
+      match Queue.take_opt s.queue with
+      | None -> ()
+      | Some head ->
+        s.queued_bits <- s.queued_bits - head.Packet.bits;
+        t.cb.on_queue ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue);
+        start_service t id s rate_bps next head
+    in
+    arrive t next pkt
+  in
+  ignore (Engine.schedule_after ~prio:Evprio.service_complete t.engine ~delay:service_time complete)
+
+let start_gate t id kind =
+  match t.states.(id) with
+  | SGate g -> (
+    match (kind : Compiled.gate_kind) with
+    | Memoryless { mean_time_to_switch; _ } ->
+      let rec toggle () =
+        g.connected <- not g.connected;
+        schedule_next ()
+      and schedule_next () =
+        let delay = Rng.exponential t.rngs.(id) ~mean:mean_time_to_switch in
+        ignore (Engine.schedule_after ~prio:Evprio.gate_toggle t.engine ~delay toggle)
+      in
+      schedule_next ()
+    | Periodic { interval; _ } ->
+      (* Absolute times k*interval avoid accumulating float drift, keeping
+         the toggles exactly where the belief model computes them. *)
+      let rec toggle k () =
+        g.connected <- not g.connected;
+        schedule_next (k + 1)
+      and schedule_next k =
+        ignore
+          (Engine.schedule ~prio:Evprio.gate_toggle t.engine
+             ~at:(float_of_int k *. interval)
+             (toggle k))
+      in
+      schedule_next 1)
+  | SStation _ | SEither _ | SMultipath _ | SStateless -> assert false
+
+let start_either t id mean_time_to_switch =
+  match t.states.(id) with
+  | SEither e ->
+    let rec toggle () =
+      e.on_first <- not e.on_first;
+      schedule_next ()
+    and schedule_next () =
+      let delay = Rng.exponential t.rngs.(id) ~mean:mean_time_to_switch in
+      ignore (Engine.schedule_after ~prio:Evprio.gate_toggle t.engine ~delay toggle)
+    in
+    schedule_next ()
+  | SStation _ | SGate _ | SMultipath _ | SStateless -> assert false
+
+let start_pinger t (p : Compiled.pinger) =
+  let prio = Evprio.arrival p.flow in
+  (* Emission k at exactly k / rate, the same expression the belief model
+     evaluates, so predicted and actual timings agree to the last bit. *)
+  let rec emit k () =
+    let pkt = Packet.make ~bits:p.size_bits ~flow:p.flow ~seq:k ~sent_at:(Engine.now t.engine) () in
+    arrive t p.entry pkt;
+    schedule_next (k + 1)
+  and schedule_next k =
+    ignore (Engine.schedule ~prio t.engine ~at:(float_of_int k /. p.rate_pps) (emit k))
+  in
+  schedule_next 0
+
+let build engine compiled cb =
+  let count = Compiled.node_count compiled in
+  let states =
+    Array.init count (fun id ->
+        match Compiled.node compiled id with
+        | Station _ -> SStation { queue = Queue.create (); queued_bits = 0; busy = false }
+        | Gate { kind = Memoryless { initially_connected; _ }; _ }
+        | Gate { kind = Periodic { initially_connected; _ }; _ } ->
+          SGate { connected = initially_connected }
+        | Either { initially_first; _ } -> SEither { on_first = initially_first }
+        | Multipath _ -> SMultipath { next_first = true }
+        | Delay _ | Loss _ | Jitter _ | Divert _ -> SStateless)
+  in
+  let root = Engine.rng engine in
+  let rngs = Array.init count (fun _ -> Rng.split root) in
+  let t = { engine; compiled; states; rngs; cb } in
+  Array.iteri
+    (fun id n ->
+      match (n : Compiled.node) with
+      | Gate { kind; _ } -> start_gate t id kind
+      | Either { mean_time_to_switch; _ } -> start_either t id mean_time_to_switch
+      | Station _ | Delay _ | Loss _ | Jitter _ | Divert _ | Multipath _ -> ())
+    compiled.Compiled.nodes;
+  List.iter (start_pinger t) compiled.Compiled.pingers;
+  t
+
+let inject t flow pkt = arrive t (Compiled.entry t.compiled flow) pkt
+let entry_node t flow = { Node.push = (fun pkt -> inject t flow pkt) }
+
+let station_state t ~node_id =
+  match t.states.(node_id) with
+  | SStation s -> s
+  | SGate _ | SEither _ | SMultipath _ | SStateless -> invalid_arg "Runtime: node is not a station"
+
+let queue_bits t ~node_id = (station_state t ~node_id).queued_bits
+let queue_packets t ~node_id = Queue.length (station_state t ~node_id).queue
+let in_service t ~node_id = (station_state t ~node_id).busy
+
+let gate_connected t ~node_id =
+  match t.states.(node_id) with
+  | SGate g -> g.connected
+  | SStation _ | SEither _ | SMultipath _ | SStateless -> invalid_arg "Runtime: node is not a gate"

@@ -1,0 +1,61 @@
+(** Ground-truth execution of a compiled network.
+
+    Gives every node of a {!Utc_net.Compiled.t} mutable state on a
+    {!Utc_sim.Engine.t}, sampling each element's randomness from a private
+    stream split off the engine's generator (so adding an element never
+    perturbs another's draws). Pingers self-schedule their isochronous
+    emissions starting at time 0; gates and [Either] elements self-schedule
+    their switching.
+
+    Simultaneous events follow the canonical order of {!Utc_net.Evprio},
+    which the belief-state interpreter ([Utc_model]) mirrors. *)
+
+type drop_reason =
+  | Tail_drop  (** Arrived at a full station queue. *)
+  | Stochastic_loss  (** Killed by a [Loss] element. *)
+  | Gate_closed  (** Arrived at a disconnected gate. *)
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+
+type callbacks = {
+  deliver : Utc_net.Flow.t -> Utc_net.Packet.t -> unit;
+      (** Packet reached the receiver of its flow, at the engine's now. *)
+  on_drop : node_id:int -> reason:drop_reason -> Utc_net.Packet.t -> unit;
+  on_queue : node_id:int -> bits:int -> packets:int -> unit;
+      (** Station queue occupancy changed (excludes the packet in service). *)
+}
+
+val callbacks :
+  ?deliver:(Utc_net.Flow.t -> Utc_net.Packet.t -> unit) ->
+  ?on_drop:(node_id:int -> reason:drop_reason -> Utc_net.Packet.t -> unit) ->
+  ?on_queue:(node_id:int -> bits:int -> packets:int -> unit) ->
+  unit ->
+  callbacks
+(** Any omitted callback is a no-op. *)
+
+type t
+
+val build : Utc_sim.Engine.t -> Utc_net.Compiled.t -> callbacks -> t
+(** Instantiate and start the network (pinger emissions and gate toggles
+    are scheduled immediately). *)
+
+val inject : t -> Utc_net.Flow.t -> Utc_net.Packet.t -> unit
+(** Hand a packet from an [Endpoint] source to the network, at the
+    engine's current time.
+    @raise Not_found if the flow has no endpoint entry. *)
+
+val entry_node : t -> Utc_net.Flow.t -> Node.t
+(** The endpoint entry as a {!Node.t}, for wiring senders. *)
+
+(** {1 Introspection (tests and instrumentation)} *)
+
+val queue_bits : t -> node_id:int -> int
+(** Queued bits at a station (excluding the packet in service).
+    @raise Invalid_argument if the node is not a station. *)
+
+val queue_packets : t -> node_id:int -> int
+
+val in_service : t -> node_id:int -> bool
+
+val gate_connected : t -> node_id:int -> bool
+(** @raise Invalid_argument if the node is not a gate. *)

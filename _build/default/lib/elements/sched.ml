@@ -1,0 +1,159 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+
+(* Both disciplines share the server loop: a one-packet server that, when
+   it completes, asks the discipline for the next packet. *)
+
+type t = {
+  push : Packet.t -> unit;
+  total_bits : unit -> int;
+  drop_total : unit -> int;
+}
+
+let node t = { Node.push = t.push }
+let queued_bits t = t.total_bits ()
+let drops t = t.drop_total ()
+
+let make_station engine ~rate_bps ~next ~enqueue ~dequeue ~total_bits ~drop_total =
+  let busy = ref false in
+  let rec serve pkt =
+    busy := true;
+    let complete () =
+      busy := false;
+      next.Node.push pkt;
+      match dequeue () with
+      | None -> ()
+      | Some head -> serve head
+    in
+    ignore
+      (Engine.schedule_after ~prio:Evprio.service_complete engine
+         ~delay:(float_of_int pkt.Packet.bits /. rate_bps)
+         complete)
+  in
+  let push pkt =
+    if enqueue pkt then
+      if not !busy then begin
+        match dequeue () with
+        | Some head -> serve head
+        | None -> ()
+      end
+  in
+  { push; total_bits; drop_total }
+
+let default_class flow =
+  match (flow : Flow.t) with
+  | Primary -> 0
+  | Cross -> 1
+  | Aux i -> 2 + i
+
+let priority engine ~rate_bps ~capacity_bits ?(class_of = default_class) ?(on_drop = fun _ -> ())
+    ~next () =
+  let queues : (int, Packet.t Queue.t) Hashtbl.t = Hashtbl.create 4 in
+  let total = ref 0 in
+  let dropped = ref 0 in
+  let queue_for rank =
+    match Hashtbl.find_opt queues rank with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace queues rank q;
+      q
+  in
+  let enqueue pkt =
+    if !total + pkt.Packet.bits > capacity_bits then begin
+      incr dropped;
+      on_drop pkt;
+      false
+    end
+    else begin
+      Queue.push pkt (queue_for (class_of pkt.Packet.flow));
+      total := !total + pkt.Packet.bits;
+      true
+    end
+  in
+  let dequeue () =
+    let best = ref None in
+    let consider rank q =
+      if not (Queue.is_empty q) then begin
+        match !best with
+        | Some (best_rank, _) when best_rank <= rank -> ()
+        | Some _ | None -> best := Some (rank, q)
+      end
+    in
+    Hashtbl.iter consider queues;
+    match !best with
+    | None -> None
+    | Some (_, q) ->
+      let pkt = Queue.pop q in
+      total := !total - pkt.Packet.bits;
+      Some pkt
+  in
+  make_station engine ~rate_bps ~next ~enqueue ~dequeue
+    ~total_bits:(fun () -> !total)
+    ~drop_total:(fun () -> !dropped)
+
+let drr engine ~rate_bps ~capacity_bits ?(quantum_bits = Packet.default_bits)
+    ?(on_drop = fun _ -> ()) ~next () =
+  (* Active list of (flow, queue, deficit ref); round-robin with byte
+     deficits, per Shreedhar & Varghese 1996. *)
+  let queues : (Flow.t * Packet.t Queue.t * int ref) Queue.t = Queue.create () in
+  let index : (Flow.t, Packet.t Queue.t * int ref) Hashtbl.t = Hashtbl.create 4 in
+  let total = ref 0 in
+  let dropped = ref 0 in
+  let enqueue pkt =
+    if !total + pkt.Packet.bits > capacity_bits then begin
+      incr dropped;
+      on_drop pkt;
+      false
+    end
+    else begin
+      let flow = pkt.Packet.flow in
+      let q, _ =
+        match Hashtbl.find_opt index flow with
+        | Some entry -> entry
+        | None ->
+          let q = Queue.create () and deficit = ref 0 in
+          Hashtbl.replace index flow (q, deficit);
+          Queue.push (flow, q, deficit) queues;
+          (q, deficit)
+      in
+      Queue.push pkt q;
+      total := !total + pkt.Packet.bits;
+      true
+    end
+  in
+  let rec dequeue () =
+    if !total = 0 then None
+    else begin
+      match Queue.take_opt queues with
+      | None -> None
+      | Some ((_, q, deficit) as entry) ->
+        if Queue.is_empty q then begin
+          (* Inactive flow: forfeit its deficit, keep it enrolled at the
+             back so a later burst rejoins the rotation fairly. *)
+          deficit := 0;
+          Queue.push entry queues;
+          dequeue ()
+        end
+        else begin
+          deficit := !deficit + quantum_bits;
+          let head = Queue.peek q in
+          if head.Packet.bits <= !deficit then begin
+            let pkt = Queue.pop q in
+            deficit := !deficit - pkt.Packet.bits;
+            total := !total - pkt.Packet.bits;
+            (* Re-enqueue at the back whether or not packets remain; an
+               emptied flow forfeits its deficit next rotation. *)
+            Queue.push entry queues;
+            Some pkt
+          end
+          else begin
+            Queue.push entry queues;
+            dequeue ()
+          end
+        end
+    end
+  in
+  make_station engine ~rate_bps ~next ~enqueue ~dequeue
+    ~total_bits:(fun () -> !total)
+    ~drop_total:(fun () -> !dropped)

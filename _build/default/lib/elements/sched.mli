@@ -1,0 +1,35 @@
+(** Non-FIFO packet scheduling (extension, paper §3.5).
+
+    Multi-queue stations that classify arriving packets by flow and serve
+    queues by a scheduling discipline: strict priority (lower {!class_of}
+    rank first) or deficit round-robin (byte-fair across flows). *)
+
+type t
+
+val priority :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  capacity_bits:int ->
+  ?class_of:(Utc_net.Flow.t -> int) ->
+  ?on_drop:(Utc_net.Packet.t -> unit) ->
+  next:Node.t ->
+  unit ->
+  t
+(** Strict priority across classes; FIFO within a class; the capacity is a
+    shared pool. [class_of] defaults to flow rank (primary first). *)
+
+val drr :
+  Utc_sim.Engine.t ->
+  rate_bps:float ->
+  capacity_bits:int ->
+  ?quantum_bits:int ->
+  ?on_drop:(Utc_net.Packet.t -> unit) ->
+  next:Node.t ->
+  unit ->
+  t
+(** Deficit round-robin with one queue per flow; [quantum_bits] defaults
+    to one default-size packet. *)
+
+val node : t -> Node.t
+val queued_bits : t -> int
+val drops : t -> int

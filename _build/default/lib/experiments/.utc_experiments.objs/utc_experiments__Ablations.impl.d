@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Format Harness List Printf Stdlib Utc_sim

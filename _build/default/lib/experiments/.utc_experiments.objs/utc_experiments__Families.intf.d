@@ -1,0 +1,1 @@
+lib/experiments/families.mli: Format Utc_net

@@ -1,0 +1,1 @@
+lib/experiments/fig1_bufferbloat.ml: Evprio Format List Packet Stdlib Utc_elements Utc_net Utc_sim Utc_stats Utc_tcp

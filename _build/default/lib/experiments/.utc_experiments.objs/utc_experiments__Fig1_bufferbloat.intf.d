@@ -1,0 +1,1 @@
+lib/experiments/fig1_bufferbloat.mli: Format Utc_tcp

@@ -1,0 +1,1 @@
+lib/experiments/fig2_topology.ml: Compiled Evprio Flow Format List Packet Topology Utc_elements Utc_model Utc_net Utc_sim

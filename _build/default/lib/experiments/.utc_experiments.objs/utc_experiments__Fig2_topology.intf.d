@@ -1,0 +1,1 @@
+lib/experiments/fig2_topology.mli: Format Utc_net

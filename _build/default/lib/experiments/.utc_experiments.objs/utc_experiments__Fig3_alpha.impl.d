@@ -1,0 +1,1 @@
+lib/experiments/fig3_alpha.ml: Float Format Harness List Printf Utc_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig3_alpha.mli: Format Harness

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Utc_inference Utc_net Utc_sim

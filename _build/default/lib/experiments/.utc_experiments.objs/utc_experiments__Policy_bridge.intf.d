@@ -1,0 +1,1 @@
+lib/experiments/policy_bridge.mli: Format Utc_core

@@ -1,0 +1,1 @@
+lib/experiments/prior_table.ml: Format Harness List Stdlib

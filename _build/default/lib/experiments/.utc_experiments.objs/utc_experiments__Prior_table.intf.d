@@ -1,0 +1,1 @@
+lib/experiments/prior_table.mli: Format Harness

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Format Harness List Utc_inference Utc_sim

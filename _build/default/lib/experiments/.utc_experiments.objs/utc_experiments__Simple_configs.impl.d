@@ -1,0 +1,1 @@
+lib/experiments/simple_configs.ml: Compiled Evprio Flow Format List Packet Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim Utc_utility

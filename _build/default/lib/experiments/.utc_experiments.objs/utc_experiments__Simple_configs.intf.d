@@ -1,0 +1,1 @@
+lib/experiments/simple_configs.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/skew.ml: Compiled Evprio Flow Format List Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim

@@ -1,0 +1,1 @@
+lib/experiments/versus.ml: Compiled Evprio Flow Format Harness List Packet Printf Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim Utc_stats Utc_tcp Utc_utility

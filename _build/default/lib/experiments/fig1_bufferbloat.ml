@@ -1,0 +1,102 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+
+type config = {
+  rate_bps : float;
+  try_loss : float;
+  per_try_overhead : float;
+  buffer_bits : int;
+  prop_delay : float;
+  duration : float;
+  seed : int;
+  make_cc : unit -> Utc_tcp.Cc.t;
+}
+
+let default =
+  {
+    rate_bps = 1_000_000.0;
+    try_loss = 0.15;
+    per_try_overhead = 0.01;
+    buffer_bits = 3_000_000;
+    prop_delay = 0.03;
+    duration = 250.0;
+    seed = 1;
+    make_cc = (fun () -> Utc_tcp.Cc.reno ());
+  }
+
+type result = {
+  config : config;
+  rtt : (float * float) list;
+  cwnd : (float * float) list;
+  delivered : int;
+  retransmissions : int;
+  timeouts : int;
+  link_transmissions : int;
+  queue_max_bits : int;
+}
+
+let run config =
+  let engine = Engine.create ~seed:config.seed () in
+  let sender_cell = ref None in
+  (* Data path: TCP -> ARQ link (deep buffer, hidden radio loss) ->
+     propagation delay -> receiver; ACKs return instantly. *)
+  let to_receiver =
+    Utc_elements.Node.of_fn (fun pkt ->
+        ignore
+          (Engine.schedule_after ~prio:(Evprio.arrival pkt.Packet.flow) engine
+             ~delay:config.prop_delay (fun () ->
+               match !sender_cell with
+               | Some sender -> Utc_tcp.Sender.on_delivery sender pkt
+               | None -> ())))
+  in
+  let arq =
+    Utc_elements.Arq.create engine ~rate_bps:config.rate_bps ~try_loss:config.try_loss
+      ~per_try_overhead:config.per_try_overhead ~capacity_bits:config.buffer_bits
+      ~next:to_receiver ()
+  in
+  let queue_max = ref 0 in
+  let inject pkt =
+    (Utc_elements.Arq.node arq).Utc_elements.Node.push pkt;
+    queue_max := Stdlib.max !queue_max (Utc_elements.Arq.queued_bits arq)
+  in
+  let sender_config = { Utc_tcp.Sender.default_config with make_cc = config.make_cc } in
+  let sender = Utc_tcp.Sender.create engine sender_config ~inject in
+  sender_cell := Some sender;
+  Utc_tcp.Sender.start sender;
+  Engine.run ~until:config.duration engine;
+  {
+    config;
+    rtt = Utc_tcp.Sender.rtt_trace sender;
+    cwnd = Utc_tcp.Sender.cwnd_trace sender;
+    delivered = Utc_tcp.Sender.delivered sender;
+    retransmissions = Utc_tcp.Sender.retransmissions sender;
+    timeouts = Utc_tcp.Sender.timeouts sender;
+    link_transmissions = Utc_elements.Arq.transmissions arq;
+    queue_max_bits = !queue_max;
+  }
+
+let pp_report ppf result =
+  Format.fprintf ppf "Figure 1: RTT during a TCP download over an LTE-like path@.";
+  Format.fprintf ppf
+    "substitute: %s over %.0f kbit/s ARQ link (%.0f%% radio loss hidden), %.1f s of buffer@.@."
+    "Reno"
+    (result.config.rate_bps /. 1000.0)
+    (result.config.try_loss *. 100.0)
+    (float_of_int result.config.buffer_bits /. result.config.rate_bps);
+  let rtts = List.map snd result.rtt in
+  let () =
+    match Utc_stats.Summary.of_list rtts with
+    | Some summary -> Format.fprintf ppf "RTT: %a@." Utc_stats.Summary.pp summary
+    | None -> Format.fprintf ppf "RTT: no samples@."
+  in
+  Format.fprintf ppf
+    "delivered=%d pkts, tcp-rtx=%d, timeouts=%d, radio tx per pkt=%.2f, max queue=%.2f s@.@."
+    result.delivered result.retransmissions result.timeouts
+    (float_of_int result.link_transmissions /. float_of_int (Stdlib.max 1 result.delivered))
+    (float_of_int result.queue_max_bits /. result.config.rate_bps);
+  Format.fprintf ppf "%s@."
+    (Utc_stats.Ascii_plot.render_one ~x_label:"time (s)" ~y_label:"RTT (s)" ~log_y:true
+       ~label:"rtt" result.rtt);
+  Format.fprintf ppf
+    "(paper: RTT on a log scale rising from ~0.1-0.2 s to multiple seconds and@.";
+  Format.fprintf ppf " staying there for the whole download)@."

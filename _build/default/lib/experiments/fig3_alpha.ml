@@ -1,0 +1,71 @@
+type run = {
+  alpha : float;
+  result : Harness.result;
+}
+
+let paper_alphas = [ 0.9; 1.0; 2.5; 5.0 ]
+
+let run_one ?(seed = 1) ?(duration = 300.0) ~alpha () =
+  let config = { Harness.default with alpha; seed; duration } in
+  { alpha; result = Harness.run config }
+
+let run_all ?seed ?duration ?(alphas = paper_alphas) () =
+  List.map (fun alpha -> run_one ?seed ?duration ~alpha ()) alphas
+
+let sent_series run =
+  List.map (fun (t, seq) -> (t, float_of_int seq)) run.result.Harness.sent
+
+type rates = {
+  r_alpha : float;
+  cross_on_rate : float;
+  cross_off_rate : float;
+  overflow_drops_caused : int;
+  total_sent : int;
+}
+
+let rates run =
+  let result = run.result in
+  let duration = result.Harness.config.Harness.duration in
+  let on_window = Float.min duration 100.0 in
+  let late_on = if duration > 200.0 then duration -. 200.0 else 0.0 in
+  let on_sends =
+    Harness.sends_in result ~since:0.0 ~until:on_window
+    + Harness.sends_in result ~since:200.0 ~until:duration
+  in
+  let off_sends = Harness.sends_in result ~since:100.0 ~until:(Float.min duration 200.0) in
+  let off_window = Float.max 0.0 (Float.min duration 200.0 -. 100.0) in
+  {
+    r_alpha = run.alpha;
+    cross_on_rate =
+      (if on_window +. late_on > 0.0 then float_of_int on_sends /. (on_window +. late_on)
+       else 0.0);
+    cross_off_rate = (if off_window > 0.0 then float_of_int off_sends /. off_window else 0.0);
+    overflow_drops_caused = result.Harness.tail_drops_cross;
+    total_sent = List.length result.Harness.sent;
+  }
+
+let pp_report ppf runs =
+  Format.fprintf ppf "Figure 3: sequence number vs time, varying priority to cross traffic@.";
+  Format.fprintf ppf
+    "truth: c=12000 bps, buffer=96000 bits, loss=0.2, pinger=0.7c, square wave 100 s@.@.";
+  Format.fprintf ppf "%8s %12s %12s %14s %10s@." "alpha" "on-rate/s" "off-rate/s" "cross-drops"
+    "sent";
+  List.iter
+    (fun run ->
+      let r = rates run in
+      Format.fprintf ppf "%8.2f %12.3f %12.3f %14d %10d@." r.r_alpha r.cross_on_rate
+        r.cross_off_rate r.overflow_drops_caused r.total_sent)
+    runs;
+  Format.fprintf ppf "@.(paper: off-rate = link speed 1/s for every alpha; on-rate decreasing@.";
+  Format.fprintf ppf " in alpha, 0.3/s at alpha=1; no cross drops caused when alpha >= 1)@.@.";
+  let series =
+    List.map
+      (fun run ->
+        {
+          Utc_stats.Ascii_plot.label = Printf.sprintf "a=%g" run.alpha;
+          points = sent_series run;
+        })
+      runs
+  in
+  Format.fprintf ppf "%s@."
+    (Utc_stats.Ascii_plot.render ~x_label:"time (s)" ~y_label:"sequence number" series)

@@ -1,0 +1,36 @@
+(** Figure 3: sequence number vs time while varying the priority given to
+    cross traffic (§4).
+
+    Ground truth: 12 kbit/s link, 96 kbit tail-drop buffer, 20 % last-mile
+    loss, isochronous cross traffic at 0.7c switched by a deterministic
+    100 s square wave (on, off, on). The ISender starts from the paper's
+    prior and its utility weighs cross-traffic throughput by alpha. *)
+
+type run = {
+  alpha : float;
+  result : Harness.result;
+}
+
+val paper_alphas : float list
+(** [0.9; 1.0; 2.5; 5.0], the four lines of Figure 3. *)
+
+val run_one : ?seed:int -> ?duration:float -> alpha:float -> unit -> run
+
+val run_all : ?seed:int -> ?duration:float -> ?alphas:float list -> unit -> run list
+
+val sent_series : run -> (float * float) list
+(** (time, sequence number) of each transmission — the figure's series. *)
+
+type rates = {
+  r_alpha : float;
+  cross_on_rate : float;  (** Sends per second while cross traffic is on. *)
+  cross_off_rate : float;  (** Sends per second in (100 s, 200 s). *)
+  overflow_drops_caused : int;
+      (** Cross packets tail-dropped; the paper: zero for alpha >= 1. *)
+  total_sent : int;
+}
+
+val rates : run -> rates
+
+val pp_report : Format.formatter -> run list -> unit
+(** The bench harness' table + ASCII rendition of the figure. *)

@@ -1,0 +1,178 @@
+open Utc_net
+module Tb = Utc_sim.Timebase
+module Priors = Utc_inference.Priors
+module Belief = Utc_inference.Belief
+
+type config = {
+  truth : Topology.t;
+  prior : (Priors.fig2_params * float) list;
+  alpha : float;
+  kappa : float;
+  cross_discounted : bool;
+  latency_penalty : float;
+  planner_delays : float list;
+  duration : float;
+  seed : int;
+  max_hyps : int;
+  cap_policy : Belief.cap_policy;
+  epoch : float;
+  loss_mode : [ `Likelihood | `Fork ];
+}
+
+(* Candidate delays scaled to the §4 link: service times are ~1 s, the
+   residual-capacity pace against a 0.7c pinger is 1/0.3c ~ 3.33 s. *)
+let paper_delays = [ 0.0; 0.5; 1.0; 1.43; 2.0; 2.5; 3.33; 5.0; 8.0; 12.0; 20.0; 32.0 ]
+
+let default =
+  {
+    truth = Priors.paper_truth_topology;
+    prior = Priors.paper_prior ();
+    alpha = 1.0;
+    kappa = 60.0;
+    cross_discounted = true;
+    latency_penalty = 0.0;
+    planner_delays = paper_delays;
+    duration = 300.0;
+    seed = 1;
+    max_hyps = 20_000;
+    cap_policy = `Top_k;
+    epoch = 1.0;
+    loss_mode = `Likelihood;
+  }
+
+type sample = {
+  at : Tb.t;
+  belief_size : int;
+  entropy : float;
+  truth_mass : float;
+  m_link : float;
+  m_rate : float;
+  m_loss : float;
+  m_buffer : float;
+  m_fullness : float;
+}
+
+type result = {
+  config : config;
+  sent : (Tb.t * int) list;
+  acked : (Tb.t * int) list;
+  primary_deliveries : (Tb.t * Packet.t) list;
+  cross_deliveries : (Tb.t * Packet.t) list;
+  tail_drops : int;
+  tail_drops_cross : int;
+  queue_trace : (Tb.t * int) list;
+  samples : sample list;
+  final_posterior : (Priors.fig2_params * float) list;
+  rejected_updates : int;
+  wall_seconds : float;
+}
+
+let truth_cell (p : Priors.fig2_params) =
+  (p.link_bps, p.pinger_pps, p.loss_rate, p.buffer_bits)
+
+let run config =
+  let wall_start = Unix.gettimeofday () in
+  let forward_config =
+    {
+      Utc_model.Forward.default_config with
+      epoch = config.epoch;
+      loss_mode = config.loss_mode;
+    }
+  in
+  let belief =
+    Belief.create ~max_hyps:config.max_hyps ~cap_policy:config.cap_policy
+      (Priors.seeds ~config:forward_config config.prior)
+  in
+  let engine = Utc_sim.Engine.create ~seed:config.seed () in
+  let receiver = Utc_core.Receiver.create engine in
+  let compiled_truth = Compiled.compile_exn config.truth in
+  let runtime =
+    Utc_elements.Runtime.build engine compiled_truth (Utc_core.Receiver.callbacks receiver)
+  in
+  let utility =
+    Utc_utility.Utility.make ~alpha:config.alpha ~kappa:config.kappa
+      ~cross_discounted:config.cross_discounted ~latency_penalty:config.latency_penalty ()
+  in
+  let planner =
+    { Utc_core.Planner.default_config with utility; delays = config.planner_delays }
+  in
+  let isender_config = { Utc_core.Isender.default_config with planner } in
+  let isender =
+    Utc_core.Isender.create engine isender_config ~belief ~inject:(fun pkt ->
+        Utc_elements.Runtime.inject runtime Flow.Primary pkt)
+  in
+  Utc_core.Receiver.subscribe receiver Flow.Primary (fun _ pkt ->
+      Utc_core.Isender.on_ack isender pkt);
+  let samples = ref [] in
+  let truth = truth_cell Priors.paper_truth in
+  let truth_params = Priors.paper_truth in
+  Utc_core.Isender.on_wakeup isender (fun now s ->
+      let belief = Utc_core.Isender.belief s in
+      let posterior = Belief.posterior belief in
+      let mass_where pred =
+        List.fold_left (fun acc (p, w) -> if pred p then acc +. w else acc) 0.0 posterior
+      in
+      samples :=
+        {
+          at = now;
+          belief_size = Belief.size belief;
+          entropy = Belief.entropy belief;
+          truth_mass = mass_where (fun p -> truth_cell p = truth);
+          m_link = mass_where (fun p -> p.Priors.link_bps = truth_params.Priors.link_bps);
+          m_rate = mass_where (fun p -> p.Priors.pinger_pps = truth_params.Priors.pinger_pps);
+          m_loss = mass_where (fun p -> p.Priors.loss_rate = truth_params.Priors.loss_rate);
+          m_buffer = mass_where (fun p -> p.Priors.buffer_bits = truth_params.Priors.buffer_bits);
+          m_fullness = mass_where (fun p -> p.Priors.initial_packets = 0);
+        }
+        :: !samples);
+  Utc_core.Isender.start isender;
+  Utc_sim.Engine.run ~until:config.duration engine;
+  let drops = Utc_core.Receiver.drops receiver in
+  let tail_drops =
+    List.length
+      (List.filter (fun (_, _, r, _) -> r = Utc_elements.Runtime.Tail_drop) drops)
+  in
+  let tail_drops_cross =
+    List.length
+      (List.filter
+         (fun (_, _, r, pkt) ->
+           r = Utc_elements.Runtime.Tail_drop && Flow.equal pkt.Packet.flow Flow.Cross)
+         drops)
+  in
+  let station =
+    match Compiled.station_ids compiled_truth with
+    | id :: _ -> id
+    | [] -> invalid_arg "Harness.run: ground truth has no station"
+  in
+  {
+    config;
+    sent = Utc_core.Isender.sent isender;
+    acked = Utc_core.Isender.acked isender;
+    primary_deliveries = Utc_core.Receiver.deliveries receiver Flow.Primary;
+    cross_deliveries = Utc_core.Receiver.deliveries receiver Flow.Cross;
+    tail_drops;
+    tail_drops_cross;
+    queue_trace = Utc_core.Receiver.queue_trace receiver ~node_id:station;
+    samples = List.rev !samples;
+    final_posterior = Belief.posterior (Utc_core.Isender.belief isender);
+    rejected_updates = Utc_core.Isender.rejected_updates isender;
+    wall_seconds = Unix.gettimeofday () -. wall_start;
+  }
+
+let throughput result ~flow ~since ~until =
+  let deliveries =
+    match flow with
+    | Flow.Primary -> result.primary_deliveries
+    | Flow.Cross | Flow.Aux _ -> result.cross_deliveries
+  in
+  let bits =
+    List.fold_left
+      (fun acc (t, pkt) ->
+        if Tb.( >=. ) t since && Tb.( <=. ) t until then acc + pkt.Packet.bits else acc)
+      0 deliveries
+  in
+  if until > since then float_of_int bits /. (until -. since) else 0.0
+
+let sends_in result ~since ~until =
+  List.length
+    (List.filter (fun (t, _) -> Tb.( >=. ) t since && Tb.( <. ) t until) result.sent)

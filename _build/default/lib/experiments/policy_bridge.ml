@@ -1,0 +1,135 @@
+open Utc_net
+module Belief = Utc_inference.Belief
+module Mstate = Utc_model.Mstate
+module Forward = Utc_model.Forward
+module Planner = Utc_core.Planner
+
+(* Expected bottleneck occupancy (packets) under the belief: queue plus
+   in-service bits of the first station of each hypothesis, weighted. *)
+let expected_occupancy belief =
+  let hyps = Belief.support belief in
+  List.fold_left
+    (fun acc (h : _ Belief.hypothesis) ->
+      let compiled = Forward.compiled_of h.Belief.prepared in
+      match Compiled.station_ids compiled with
+      | station :: _ ->
+        let bits = Mstate.station_bits h.Belief.state station in
+        acc +. (exp h.Belief.logw *. (float_of_int bits /. float_of_int Packet.default_bits))
+      | [] -> acc)
+    0.0 hyps
+
+(* Belief-mean service time of one packet at the bottleneck. *)
+let expected_service belief =
+  let hyps = Belief.support belief in
+  let rate =
+    List.fold_left
+      (fun acc (h : _ Belief.hypothesis) ->
+        let compiled = Forward.compiled_of h.Belief.prepared in
+        let station_rate =
+          match Compiled.station_ids compiled with
+          | station :: _ -> (
+            match Compiled.node compiled station with
+            | Compiled.Station { rate_bps; _ } -> rate_bps
+            | Compiled.Delay _ | Compiled.Loss _ | Compiled.Jitter _ | Compiled.Gate _
+            | Compiled.Either _ | Compiled.Divert _ | Compiled.Multipath _ ->
+              0.0)
+          | [] -> 0.0
+        in
+        acc +. (exp h.Belief.logw *. station_rate))
+      0.0 hyps
+  in
+  if rate > 0.0 then float_of_int Packet.default_bits /. rate else 1.0
+
+let decider ~threshold belief ~now:_ ~pending ~make_packet:_ =
+  let occupancy = expected_occupancy belief +. float_of_int (List.length pending) in
+  if occupancy +. 1.0 <= float_of_int threshold then (Planner.Send_now, [])
+  else (Planner.Sleep (expected_service belief), [])
+
+type comparison = {
+  threshold : int;
+  planner_sent : int;
+  policy_sent : int;
+  planner_goodput_bps : float;
+  policy_goodput_bps : float;
+  planner_cross_drops : int;
+  policy_cross_drops : int;
+  planner_wall : float;
+  policy_wall : float;
+}
+
+let run_sender ?decide ~seed ~duration ~alpha () =
+  let wall_start = Unix.gettimeofday () in
+  let belief =
+    Belief.create
+      (Utc_inference.Priors.seeds ~config:Forward.default_config
+         (Utc_inference.Priors.paper_prior ()))
+  in
+  let engine = Utc_sim.Engine.create ~seed () in
+  let receiver = Utc_core.Receiver.create engine in
+  let runtime =
+    Utc_elements.Runtime.build engine
+      (Compiled.compile_exn Utc_inference.Priors.paper_truth_topology)
+      (Utc_core.Receiver.callbacks receiver)
+  in
+  let utility = Utc_utility.Utility.make ~alpha ~cross_discounted:true () in
+  let planner = { Planner.default_config with utility; delays = Harness.paper_delays } in
+  let isender =
+    Utc_core.Isender.create ?decide engine
+      { Utc_core.Isender.default_config with planner }
+      ~belief
+      ~inject:(fun pkt -> Utc_elements.Runtime.inject runtime Flow.Primary pkt)
+  in
+  Utc_core.Receiver.subscribe receiver Flow.Primary (fun _ pkt ->
+      Utc_core.Isender.on_ack isender pkt);
+  Utc_core.Isender.start isender;
+  Utc_sim.Engine.run ~until:duration engine;
+  let cross_drops =
+    List.length
+      (List.filter
+         (fun (_, _, r, pkt) ->
+           r = Utc_elements.Runtime.Tail_drop && Flow.equal pkt.Packet.flow Flow.Cross)
+         (Utc_core.Receiver.drops receiver))
+  in
+  ( Utc_core.Isender.sent_count isender,
+    Utc_core.Receiver.throughput receiver Flow.Primary ~since:0.0 ~until:duration,
+    cross_drops,
+    Unix.gettimeofday () -. wall_start )
+
+let compare_on_fig3 ?(seed = 1) ?(duration = 200.0) ?(alpha = 1.0) () =
+  let solution =
+    Utc_pomdp.Sender_mdp.solve { Utc_pomdp.Sender_mdp.default with Utc_pomdp.Sender_mdp.alpha }
+  in
+  let threshold = Utc_pomdp.Sender_mdp.send_threshold solution in
+  let planner_sent, planner_goodput_bps, planner_cross_drops, planner_wall =
+    run_sender ~seed ~duration ~alpha ()
+  in
+  let policy_sent, policy_goodput_bps, policy_cross_drops, policy_wall =
+    run_sender ~decide:(decider ~threshold) ~seed ~duration ~alpha ()
+  in
+  {
+    threshold;
+    planner_sent;
+    policy_sent;
+    planner_goodput_bps;
+    policy_goodput_bps;
+    planner_cross_drops;
+    policy_cross_drops;
+    planner_wall;
+    policy_wall;
+  }
+
+let pp_report ppf c =
+  Format.fprintf ppf
+    "Precomputed policy vs online planner on the S4 network (same belief filter)@.@.";
+  Format.fprintf ppf "offline policy: send while expected occupancy < %d@.@." c.threshold;
+  Format.fprintf ppf "%-18s %10s %14s %12s %10s@." "sender" "sent" "goodput(bps)" "cross-drops"
+    "wall(s)";
+  Format.fprintf ppf "%-18s %10d %14.0f %12d %10.2f@." "online planner" c.planner_sent
+    c.planner_goodput_bps c.planner_cross_drops c.planner_wall;
+  Format.fprintf ppf "%-18s %10d %14.0f %12d %10.2f@." "offline policy" c.policy_sent
+    c.policy_goodput_bps c.policy_cross_drops c.policy_wall;
+  Format.fprintf ppf
+    "@.(S3.3: \"the sender's algorithm need not be executed in real time\" -@.";
+  Format.fprintf ppf
+    " the table-driven sender prices nothing at decision time and should land@.";
+  Format.fprintf ppf " in the same regime as the planner)@."

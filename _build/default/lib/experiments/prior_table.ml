@@ -1,0 +1,69 @@
+type marginals = {
+  at : float;
+  link_speed : float;
+  pinger_rate : float;
+  loss_rate : float;
+  buffer : float;
+  fullness : float;
+  hypotheses : int;
+}
+
+type result = {
+  trace : marginals list;
+  final : marginals;
+}
+
+let of_sample (s : Harness.sample) =
+  {
+    at = s.Harness.at;
+    link_speed = s.Harness.m_link;
+    pinger_rate = s.Harness.m_rate;
+    loss_rate = s.Harness.m_loss;
+    buffer = s.Harness.m_buffer;
+    fullness = s.Harness.m_fullness;
+    hypotheses = s.Harness.belief_size;
+  }
+
+let of_harness (result : Harness.result) =
+  let trace = List.map of_sample result.Harness.samples in
+  let final =
+    match List.rev trace with
+    | last :: _ -> last
+    | [] ->
+      {
+        at = 0.0;
+        link_speed = 0.0;
+        pinger_rate = 0.0;
+        loss_rate = 0.0;
+        buffer = 0.0;
+        fullness = 0.0;
+        hypotheses = 0;
+      }
+  in
+  { trace; final }
+
+let run ?(seed = 1) ?(duration = 300.0) ?(alpha = 1.0) () =
+  of_harness (Harness.run { Harness.default with seed; duration; alpha })
+
+let pp_report ppf result =
+  Format.fprintf ppf "Prior table (S4): posterior mass on the true parameter values@.";
+  Format.fprintf ppf "prior: the paper's discretized uniform table; truth: c=12000, r=0.7c,@.";
+  Format.fprintf ppf "p=0.2, capacity=96000, fullness=0@.@.";
+  Format.fprintf ppf "%8s %8s %8s %8s %8s %8s %8s@." "t(s)" "P(c)" "P(r)" "P(p)" "P(buf)"
+    "P(fill)" "hyps";
+  let step = Stdlib.max 1 (List.length result.trace / 20) in
+  List.iteri
+    (fun i m ->
+      if i mod step = 0 then
+        Format.fprintf ppf "%8.1f %8.3f %8.3f %8.3f %8.3f %8.3f %8d@." m.at m.link_speed
+          m.pinger_rate m.loss_rate m.buffer m.fullness m.hypotheses)
+    result.trace;
+  let m = result.final in
+  Format.fprintf ppf "%8s %8.3f %8.3f %8.3f %8.3f %8.3f %8d  (final)@." "" m.link_speed
+    m.pinger_rate m.loss_rate m.buffer m.fullness m.hypotheses;
+  Format.fprintf ppf
+    "@.(paper: the sender quickly pares the prior down and \"figures out all the@.";
+  Format.fprintf ppf
+    " parameters of the channel\" by 100 s; capacity stays ambiguous when the@.";
+  Format.fprintf ppf " sender never overflows the buffer, which the paper's alpha>=1 senders@.";
+  Format.fprintf ppf " never do)@."

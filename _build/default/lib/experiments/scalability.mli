@@ -1,0 +1,28 @@
+(** Cost of the filter as the prior grows (§3.2's computational remark).
+
+    The paper: "This rejection-sampling approach is limited
+    computationally; we have found that maintaining more than a few
+    million possible discrete channel configurations is impractical."
+    This experiment measures our filter's wall-clock cost against the
+    prior size on the §4 workload, with and without the bounded particle
+    filter, so the scaling claim is a number rather than an anecdote. *)
+
+type row = {
+  prior_cells : int;
+  cap : int;  (** Hypothesis cap in force. *)
+  policy : string;  (** "top-k" or "resample". *)
+  wall_seconds : float;
+  sent : int;
+  truth_mass : float;  (** Posterior mass on the true (c, r, p, cap) cell. *)
+}
+
+val run : ?seed:int -> ?duration:float -> ?fractions:int list -> unit -> row list
+(** Thin the paper prior by each factor in [fractions] (default
+    [32; 8; 2; 1], i.e. ~150 to ~4800 cells; the true cell is always
+    kept), run the §4 experiment for [duration] (default 60 s), and add
+    one bounded-particle run on the full prior. The particle run is the
+    honest cautionary tale: resampling a uniform prior down to the cap
+    can lose the true cell before any observation arrives, so its
+    [truth_mass] may be 0. *)
+
+val pp_rows : Format.formatter -> row list -> unit

@@ -1,0 +1,30 @@
+(** The §4 "simple configurations" results.
+
+    1. A single ISender into a queue drained by a throughput-limited link:
+       the sender begins tentatively while unsure of the link speed and
+       initial buffer occupancy, then sends at the link speed.
+    2. With (pre-existing) queue occupancy and a utility that penalizes
+       induced latency, the sender drains the buffer before sending at
+       the link speed. *)
+
+type result = {
+  sent : (float * int) list;
+  first_send : float;  (** Tentative start: strictly positive. *)
+  late_rate : float;  (** Sends per second over the last half. *)
+  link_rate : float;  (** Packets per second the link can carry. *)
+  queue_before_first_send : int;
+      (** Bits queued (prefill) at the first transmission. *)
+  posterior_on_truth : float;
+}
+
+val run_unknown_link : ?seed:int -> ?duration:float -> unit -> result
+(** Scenario 1: link speed and fullness drawn from a grid; truth 12 kbit/s
+    and an empty buffer. *)
+
+val run_drain_first : ?seed:int -> ?duration:float -> unit -> result
+(** Scenario 2: the buffer starts with 4 packets of someone else's
+    traffic; the utility penalizes induced latency; the sender should not
+    transmit until the queue has (nearly) drained. *)
+
+val pp_report : Format.formatter -> result -> result -> unit
+(** Takes scenario 1 then scenario 2. *)

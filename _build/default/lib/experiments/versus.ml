@@ -1,0 +1,214 @@
+open Utc_net
+module Engine = Utc_sim.Engine
+module Belief = Utc_inference.Belief
+module Priors = Utc_inference.Priors
+
+type share = {
+  label : string;
+  primary_bps : float;
+  other_bps : float;
+  jain : float;
+  drops : int;
+  rejected_updates : int;
+}
+
+(* Under misspecification the belief cannot converge, so a full grid just
+   burns time; a thinned prior and tighter caps keep the probe honest and
+   fast. *)
+let thinned_prior () =
+  let cells = List.filteri (fun i _ -> i mod 7 = 0) (Priors.paper_prior ()) in
+  let w = 1.0 /. float_of_int (List.length cells) in
+  List.map (fun (p, _) -> (p, w)) cells
+
+let versus_forward_config = { Utc_model.Forward.default_config with max_branches = 64 }
+
+let isender_vs_tcp ?(seed = 9) ?(duration = 300.0) ?(alpha = 1.0) () =
+  let truth =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary; Topology.endpoint (Flow.Aux 0) ];
+      shared =
+        Topology.series
+          [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:12_000.0 ];
+    }
+  in
+  let engine = Engine.create ~seed () in
+  let receiver = Utc_core.Receiver.create engine in
+  let compiled = Compiled.compile_exn truth in
+  let runtime = Utc_elements.Runtime.build engine compiled (Utc_core.Receiver.callbacks receiver) in
+  (* The ISender keeps its §4 model family: TCP's traffic must be
+     explained as an intermittent pinger, i.e. deliberate
+     misspecification. *)
+  let belief =
+    Belief.create ~max_hyps:2_000
+      (Priors.seeds ~config:versus_forward_config (thinned_prior ()))
+  in
+  let utility = Utc_utility.Utility.make ~alpha ~cross_discounted:true () in
+  let planner =
+    { Utc_core.Planner.default_config with utility; delays = Harness.paper_delays }
+  in
+  let isender =
+    Utc_core.Isender.create engine
+      { Utc_core.Isender.default_config with planner }
+      ~belief
+      ~inject:(fun pkt -> Utc_elements.Runtime.inject runtime Flow.Primary pkt)
+  in
+  Utc_core.Receiver.subscribe receiver Flow.Primary (fun _ pkt ->
+      Utc_core.Isender.on_ack isender pkt);
+  let tcp =
+    Utc_tcp.Sender.create engine
+      { Utc_tcp.Sender.default_config with flow = Flow.Aux 0 }
+      ~inject:(fun pkt -> Utc_elements.Runtime.inject runtime (Flow.Aux 0) pkt)
+  in
+  Utc_core.Receiver.subscribe receiver (Flow.Aux 0) (fun _ pkt ->
+      Utc_tcp.Sender.on_delivery tcp pkt);
+  Utc_core.Isender.start isender;
+  Utc_tcp.Sender.start tcp;
+  Engine.run ~until:duration engine;
+  let primary_bps = Utc_core.Receiver.throughput receiver Flow.Primary ~since:0.0 ~until:duration in
+  let other_bps = Utc_core.Receiver.throughput receiver (Flow.Aux 0) ~since:0.0 ~until:duration in
+  {
+    label = Printf.sprintf "ISender (alpha=%g) vs Reno" alpha;
+    primary_bps;
+    other_bps;
+    jain = Utc_stats.Fairness.jain [ primary_bps; other_bps ];
+    drops = List.length (Utc_core.Receiver.drops receiver);
+    rejected_updates = Utc_core.Isender.rejected_updates isender;
+  }
+
+(* Two ISenders share the bottleneck; each keeps the paper's model
+   family, so each explains the other's traffic as an intermittent
+   pinger. Internally each sender works in its own frame (it is Primary
+   in its own model); only egress packets are rewritten to the real
+   flow. *)
+let isender_vs_isender ?(seed = 9) ?(duration = 300.0) ?(alpha = 1.0) () =
+  let truth =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary; Topology.endpoint (Flow.Aux 0) ];
+      shared =
+        Topology.series
+          [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:12_000.0 ];
+    }
+  in
+  let engine = Engine.create ~seed () in
+  let receiver = Utc_core.Receiver.create engine in
+  let compiled = Compiled.compile_exn truth in
+  let runtime = Utc_elements.Runtime.build engine compiled (Utc_core.Receiver.callbacks receiver) in
+  let utility = Utc_utility.Utility.make ~alpha ~cross_discounted:true () in
+  let planner =
+    { Utc_core.Planner.default_config with utility; delays = Harness.paper_delays }
+  in
+  let make_sender flow =
+    let belief =
+      Belief.create ~max_hyps:2_000 (Priors.seeds ~config:versus_forward_config (thinned_prior ()))
+    in
+    let isender =
+      Utc_core.Isender.create engine
+        { Utc_core.Isender.default_config with planner }
+        ~belief
+        ~inject:(fun pkt ->
+          Utc_elements.Runtime.inject runtime flow { pkt with Packet.flow })
+    in
+    Utc_core.Receiver.subscribe receiver flow (fun _ pkt ->
+        Utc_core.Isender.on_ack isender pkt);
+    isender
+  in
+  let a = make_sender Flow.Primary in
+  let b = make_sender (Flow.Aux 0) in
+  Utc_core.Isender.start a;
+  Utc_core.Isender.start b;
+  Engine.run ~until:duration engine;
+  let primary_bps = Utc_core.Receiver.throughput receiver Flow.Primary ~since:0.0 ~until:duration in
+  let other_bps = Utc_core.Receiver.throughput receiver (Flow.Aux 0) ~since:0.0 ~until:duration in
+  {
+    label = Printf.sprintf "ISender vs ISender (alpha=%g each)" alpha;
+    primary_bps;
+    other_bps;
+    jain = Utc_stats.Fairness.jain [ primary_bps; other_bps ];
+    drops = List.length (Utc_core.Receiver.drops receiver);
+    rejected_updates =
+      Utc_core.Isender.rejected_updates a + Utc_core.Isender.rejected_updates b;
+  }
+
+type aqm_row = {
+  discipline : string;
+  throughput_bps : float;
+  mean_rtt : float;
+  p95_rtt : float;
+  aqm_drops : int;
+}
+
+let tcp_through ~seed ~duration ~make_station =
+  let engine = Engine.create ~seed () in
+  let sender_cell = ref None in
+  let prop_delay = 0.03 in
+  let to_receiver =
+    Utc_elements.Node.of_fn (fun pkt ->
+        ignore
+          (Engine.schedule_after ~prio:(Evprio.arrival pkt.Packet.flow) engine ~delay:prop_delay
+             (fun () ->
+               match !sender_cell with
+               | Some sender -> Utc_tcp.Sender.on_delivery sender pkt
+               | None -> ())))
+  in
+  let station, drops = make_station engine to_receiver in
+  let sender = Utc_tcp.Sender.create engine Utc_tcp.Sender.default_config ~inject:station.Utc_elements.Node.push in
+  sender_cell := Some sender;
+  Utc_tcp.Sender.start sender;
+  Engine.run ~until:duration engine;
+  let rtts = List.map snd (Utc_tcp.Sender.rtt_trace sender) in
+  let mean_rtt, p95_rtt =
+    match Utc_stats.Summary.of_list rtts with
+    | Some s -> (s.Utc_stats.Summary.mean, Utc_stats.Summary.percentile rtts ~q:0.95)
+    | None -> (0.0, 0.0)
+  in
+  ( float_of_int (Utc_tcp.Sender.delivered sender * Packet.default_bits) /. duration,
+    mean_rtt,
+    p95_rtt,
+    drops () )
+
+let tcp_under_aqm ?(seed = 9) ?(duration = 200.0) () =
+  let rate_bps = 1_000_000.0 in
+  let capacity_bits = 3_000_000 in
+  let taildrop engine next =
+    let arq =
+      Utc_elements.Arq.create engine ~rate_bps ~try_loss:0.0 ~capacity_bits ~next ()
+    in
+    (Utc_elements.Arq.node arq, fun () -> Utc_elements.Arq.drops arq)
+  in
+  let red engine next =
+    let t =
+      Utc_elements.Aqm.red engine ~rate_bps
+        ~params:(Utc_elements.Aqm.default_red ~capacity_bits)
+        ~next ()
+    in
+    (Utc_elements.Aqm.node t, fun () -> Utc_elements.Aqm.drops t)
+  in
+  let codel engine next =
+    let t =
+      Utc_elements.Aqm.codel engine ~rate_bps
+        ~params:(Utc_elements.Aqm.default_codel ~capacity_bits)
+        ~next ()
+    in
+    (Utc_elements.Aqm.node t, fun () -> Utc_elements.Aqm.drops t)
+  in
+  List.map
+    (fun (discipline, make_station) ->
+      let throughput_bps, mean_rtt, p95_rtt, aqm_drops =
+        tcp_through ~seed ~duration ~make_station
+      in
+      { discipline; throughput_bps; mean_rtt; p95_rtt; aqm_drops })
+    [ ("tail-drop", taildrop); ("RED", red); ("CoDel", codel) ]
+
+let pp_share ppf share =
+  Format.fprintf ppf
+    "%s: primary %.0f bps, other %.0f bps, Jain %.3f, drops %d, rejected updates %d@."
+    share.label share.primary_bps share.other_bps share.jain share.drops share.rejected_updates
+
+let pp_aqm ppf rows =
+  Format.fprintf ppf "%-10s %14s %10s %10s %8s@." "discipline" "goodput(bps)" "mean RTT" "p95 RTT"
+    "drops";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %14.0f %10.3f %10.3f %8d@." r.discipline r.throughput_bps
+        r.mean_rtt r.p95_rtt r.aqm_drops)
+    rows

@@ -1,0 +1,44 @@
+(** Extension experiments the paper's §3.5 marks as open questions.
+
+    - ISender vs TCP sharing one bottleneck: the ISender's model does not
+      describe a TCP peer (its cross-traffic model is an intermittent
+      isochronous pinger), so this probes behavior under model
+      misspecification — rejected updates trigger unconditioned
+      advancing.
+    - TCP under AQM: Reno through tail-drop, RED and CoDel on the
+      bufferbloat path of Figure 1, measuring delay vs throughput — the
+      in-network counterpoint the paper's introduction discusses. *)
+
+type share = {
+  label : string;
+  primary_bps : float;
+  other_bps : float;
+  jain : float;
+  drops : int;
+  rejected_updates : int;  (** Model-misspecification fallbacks. *)
+}
+
+val isender_vs_tcp : ?seed:int -> ?duration:float -> ?alpha:float -> unit -> share
+(** ISender (Primary) and a Reno download (Aux 0) into the §4 bottleneck
+    (no stochastic loss, no pinger in the ground truth; the ISender keeps
+    its usual model family). *)
+
+val isender_vs_isender : ?seed:int -> ?duration:float -> ?alpha:float -> unit -> share
+(** Two ISenders with the paper's model family sharing the §4 bottleneck,
+    each explaining the other as an intermittent pinger. Reports the
+    throughput split and how often each belief rejected every
+    configuration. *)
+
+type aqm_row = {
+  discipline : string;
+  throughput_bps : float;
+  mean_rtt : float;
+  p95_rtt : float;
+  aqm_drops : int;
+}
+
+val tcp_under_aqm : ?seed:int -> ?duration:float -> unit -> aqm_row list
+(** Reno through tail-drop / RED / CoDel at the Figure 1 bottleneck. *)
+
+val pp_share : Format.formatter -> share -> unit
+val pp_aqm : Format.formatter -> aqm_row list -> unit

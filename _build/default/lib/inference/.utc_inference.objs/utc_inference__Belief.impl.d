@@ -1,0 +1,1 @@
+lib/inference/belief.ml: Array Float Flow Hashtbl List Logw Marshal Packet Utc_model Utc_net Utc_sim

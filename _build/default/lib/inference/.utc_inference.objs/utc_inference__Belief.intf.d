@@ -1,0 +1,1 @@
+lib/inference/belief.mli: Utc_model Utc_net Utc_sim

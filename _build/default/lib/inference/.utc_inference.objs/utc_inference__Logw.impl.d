@@ -1,0 +1,1 @@
+lib/inference/logw.ml: Float List

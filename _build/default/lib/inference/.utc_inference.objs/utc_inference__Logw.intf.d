@@ -1,0 +1,1 @@
+lib/inference/logw.mli:

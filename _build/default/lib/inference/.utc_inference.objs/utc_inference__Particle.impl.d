@@ -1,0 +1,1 @@
+lib/inference/particle.ml: Belief Hashtbl List Marshal Utc_sim

@@ -1,0 +1,1 @@
+lib/inference/particle.mli: Belief Utc_model

@@ -1,0 +1,1 @@
+lib/inference/priors.ml: Compiled Float Flow Format List Packet Printf Topology Utc_model Utc_net Utc_sim

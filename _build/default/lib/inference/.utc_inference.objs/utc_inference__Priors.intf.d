@@ -1,0 +1,1 @@
+lib/inference/priors.mli: Format Utc_model Utc_net

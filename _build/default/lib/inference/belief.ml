@@ -1,0 +1,254 @@
+open Utc_net
+module Tb = Utc_sim.Timebase
+module Rng = Utc_sim.Rng
+module Forward = Utc_model.Forward
+module Mstate = Utc_model.Mstate
+
+type ack = { seq : int; time : Tb.t }
+
+type 'p hypothesis = {
+  params : 'p;
+  prepared : Forward.prepared;
+  state : Mstate.t;
+  logw : float;
+  awaiting : Forward.delivery list;
+      (* Primary deliveries whose acknowledgment, shifted by the
+         hypothesis' observation offset, is not due yet (newest first). *)
+}
+
+type cap_policy =
+  [ `Top_k
+  | `Resample of Rng.t
+  ]
+
+type 'p t = {
+  hyps : 'p hypothesis list;
+  tick : float;
+  min_weight : float;
+  max_hyps : int;
+  cap_policy : cap_policy;
+  obs_offset : 'p -> float;
+  now : Tb.t;
+}
+
+type update_status =
+  | Consistent
+  | All_rejected
+
+let normalize_hyps hyps =
+  let z = Logw.logsumexp (List.map (fun h -> h.logw) hyps) in
+  if z = neg_infinity then []
+  else List.map (fun h -> { h with logw = h.logw -. z }) hyps
+
+let sort_heaviest hyps = List.sort (fun a b -> Float.compare b.logw a.logw) hyps
+
+let create ?(tick = 1e-6) ?(min_weight = 1e-9) ?(max_hyps = 20_000) ?(cap_policy = `Top_k)
+    ?(obs_offset = fun _ -> 0.0) seeds =
+  let hyp (params, weight, prepared, state) =
+    {
+      params;
+      prepared;
+      state;
+      logw = (if weight <= 0.0 then neg_infinity else log weight);
+      awaiting = [];
+    }
+  in
+  let hyps = normalize_hyps (List.map hyp seeds) in
+  { hyps = sort_heaviest hyps; tick; min_weight; max_hyps; cap_policy; obs_offset; now = Tb.zero }
+
+(* Log-likelihood of the observed ACK set under one simulated outcome, or
+   None if the outcome is inconsistent: wrong delivery time, an ACK the
+   outcome cannot explain, or a missing ACK with no loss to blame.
+   [offset] shifts predicted delivery times into the sender's observation
+   clock: a hypothesized return-path delay plus receiver clock skew
+   (paper S3.4/S3.5). *)
+let score ~tick ~offset ~acks (deliveries : Forward.delivery list) =
+  let exception Rejected in
+  try
+    let matched = Hashtbl.create 8 in
+    let delivery_ll acc (d : Forward.delivery) =
+      match List.find_opt (fun a -> a.seq = d.packet.Packet.seq) acks with
+      | Some a ->
+        if Tb.close ~tol:tick a.time (d.time +. offset) then begin
+          Hashtbl.replace matched a.seq ();
+          if d.survive_p <= 0.0 then raise Rejected else acc +. log d.survive_p
+        end
+        else raise Rejected
+      | None ->
+        (* Acknowledgment was due by now but never arrived: the packet
+           must have been lost at a last-mile loss element. *)
+        let loss_p = 1.0 -. d.survive_p in
+        if loss_p <= 0.0 then raise Rejected else acc +. log loss_p
+    in
+    let ll = List.fold_left delivery_ll 0.0 deliveries in
+    let all_explained = List.for_all (fun a -> Hashtbl.mem matched a.seq) acks in
+    if all_explained then Some ll else None
+  with Rejected -> None
+
+let prune ~min_weight hyps =
+  let heaviest = List.fold_left (fun acc h -> Float.max acc h.logw) neg_infinity hyps in
+  if heaviest = neg_infinity then []
+  else begin
+    let threshold = heaviest +. log min_weight in
+    List.filter (fun h -> h.logw >= threshold) hyps
+  end
+
+let systematic_resample rng ~n hyps =
+  let arr = Array.of_list hyps in
+  let weights = Array.map (fun h -> exp h.logw) arr in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let counts = Array.make (Array.length arr) 0 in
+  let step = total /. float_of_int n in
+  let u0 = Rng.uniform rng ~lo:0.0 ~hi:step in
+  let cursor = ref 0 in
+  let cum = ref weights.(0) in
+  for i = 0 to n - 1 do
+    let target = u0 +. (float_of_int i *. step) in
+    while !cum < target && !cursor < Array.length arr - 1 do
+      incr cursor;
+      cum := !cum +. weights.(!cursor)
+    done;
+    counts.(!cursor) <- counts.(!cursor) + 1
+  done;
+  let kept = ref [] in
+  Array.iteri
+    (fun i count ->
+      if count > 0 then
+        kept := { arr.(i) with logw = log (float_of_int count /. float_of_int n) } :: !kept)
+    counts;
+  List.rev !kept
+
+let cap t hyps =
+  if List.length hyps <= t.max_hyps then hyps
+  else begin
+    match t.cap_policy with
+    | `Top_k ->
+      let sorted = sort_heaviest hyps in
+      let rec take n = function
+        | [] -> []
+        | _ :: _ when n = 0 -> []
+        | h :: rest -> h :: take (n - 1) rest
+      in
+      take t.max_hyps sorted
+    | `Resample rng -> systematic_resample rng ~n:t.max_hyps hyps
+  end
+
+let step t ~sends ~acks ~now ~now_prio ~condition =
+  let expand hyp =
+    let offset = t.obs_offset hyp.params in
+    let outcomes = Forward.run ?until_prio:now_prio hyp.prepared hyp.state ~sends ~until:now in
+    let keep (o : Forward.outcome) =
+      (* Only primary deliveries are observable; those whose (offset)
+         acknowledgment is due by now are scored, the rest carry over. *)
+      let observable =
+        List.filter
+          (fun (d : Forward.delivery) -> Flow.equal d.packet.Packet.flow Flow.Primary)
+          o.Forward.deliveries
+      in
+      let due, awaiting =
+        List.partition
+          (fun (d : Forward.delivery) -> Tb.( <=. ) (d.time +. offset) (now +. t.tick))
+          (hyp.awaiting @ observable)
+      in
+      let ll = if condition then score ~tick:t.tick ~offset ~acks due else Some 0.0 in
+      match ll with
+      | None -> None
+      | Some ll ->
+        let logw = hyp.logw +. o.logw +. ll in
+        if logw = neg_infinity then None
+        else Some { hyp with state = o.state; logw; awaiting }
+    in
+    List.filter_map keep outcomes
+  in
+  (* Compact on the fly: expanding thousands of hypotheses that each may
+     fork hundreds of ways must not materialize the whole product before
+     merging (under model misspecification the forking is at its worst
+     exactly when every branch survives unconditioned). *)
+  let table : (string, 'a hypothesis) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref [] in
+  let absorb h =
+    let key =
+      Marshal.to_string h.params [] ^ Mstate.canonical h.state
+      ^ Marshal.to_string h.awaiting []
+    in
+    match Hashtbl.find_opt table key with
+    | None ->
+      Hashtbl.replace table key h;
+      order := key :: !order
+    | Some existing ->
+      Hashtbl.replace table key { existing with logw = Logw.logsumexp [ existing.logw; h.logw ] }
+  in
+  List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps;
+  let hyps = List.rev_map (fun key -> Hashtbl.find table key) !order in
+  let hyps = prune ~min_weight:t.min_weight hyps in
+  let hyps = normalize_hyps hyps in
+  let hyps = normalize_hyps (cap t hyps) in
+  { t with hyps = sort_heaviest hyps; now }
+
+let update t ~sends ~acks ~now ?now_prio () =
+  let conditioned = step t ~sends ~acks ~now ~now_prio ~condition:true in
+  if conditioned.hyps <> [] then (conditioned, Consistent)
+  else begin
+    let unconditioned = step t ~sends ~acks:[] ~now ~now_prio ~condition:false in
+    (unconditioned, All_rejected)
+  end
+
+let advance t ~sends ~now ?now_prio () = step t ~sends ~acks:[] ~now ~now_prio ~condition:false
+
+let support t = t.hyps
+
+let top t ~n =
+  let rec take n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | h :: rest -> h :: take (n - 1) rest
+  in
+  take n t.hyps
+
+let size t = List.length t.hyps
+let now t = t.now
+
+let group_weights t ~key =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  let add h =
+    let k = key h in
+    match Hashtbl.find_opt table k with
+    | None ->
+      Hashtbl.replace table k (h.params, exp h.logw);
+      order := k :: !order
+    | Some (params, w) -> Hashtbl.replace table k (params, w +. exp h.logw)
+  in
+  List.iter add t.hyps;
+  let groups = List.rev_map (fun k -> Hashtbl.find table k) !order in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
+
+let posterior t =
+  group_weights t ~key:(fun h -> Marshal.to_string h.params [])
+
+let marginal t ~project =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  let add h =
+    let k = project h.params in
+    match Hashtbl.find_opt table k with
+    | None ->
+      Hashtbl.replace table k (exp h.logw);
+      order := k :: !order
+    | Some w -> Hashtbl.replace table k (w +. exp h.logw)
+  in
+  List.iter add t.hyps;
+  let groups = List.rev_map (fun k -> (k, Hashtbl.find table k)) !order in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
+
+let map_estimate t =
+  match posterior t with
+  | [] -> invalid_arg "Belief.map_estimate: empty belief"
+  | best :: _ -> best
+
+let mean t ~value =
+  List.fold_left (fun acc h -> acc +. (exp h.logw *. value h.params)) 0.0 t.hyps
+
+let entropy t =
+  let weights = List.map snd (posterior t) in
+  Logw.entropy (List.map (fun w -> if w <= 0.0 then neg_infinity else log w) weights)

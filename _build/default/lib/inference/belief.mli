@@ -1,0 +1,118 @@
+(** The sender's probability distribution over network configurations.
+
+    A belief is a weighted set of hypotheses, each one network
+    configuration: a parameter vector (opaque to this module), the
+    compiled model those parameters describe, and a persistent dynamic
+    state. {!update} is the paper's filtering step (§3.2): every
+    hypothesis is simulated over the window since the last wakeup, forks
+    multiply the set, outcomes inconsistent with the observed ACKs are
+    removed (or down-weighted by the exact loss likelihood), weights are
+    renormalized, and configurations that converged to identical states
+    are compacted back into one.
+
+    Cap policies bound the set: [`Top_k] keeps the heaviest hypotheses
+    (deterministic; small bias), [`Resample] is a bounded particle filter
+    with systematic resampling (unbiased; the scalable alternative the
+    paper's §5 calls for). *)
+
+type ack = { seq : int; time : Utc_sim.Timebase.t }
+(** Receipt of the sender's packet [seq], reported instantly by the
+    receiver (§3.4: synchronized clocks, lossless instant return path). *)
+
+type 'p hypothesis = {
+  params : 'p;
+  prepared : Utc_model.Forward.prepared;
+  state : Utc_model.Mstate.t;
+  logw : float;  (** Normalized: [logsumexp] over the belief is 0. *)
+  awaiting : Utc_model.Forward.delivery list;
+      (** Deliveries whose acknowledgment (shifted by the observation
+          offset) is not due yet. Empty unless [obs_offset] is used. *)
+}
+
+type 'p t
+
+type cap_policy =
+  [ `Top_k
+  | `Resample of Utc_sim.Rng.t
+  ]
+
+val create :
+  ?tick:float ->
+  ?min_weight:float ->
+  ?max_hyps:int ->
+  ?cap_policy:cap_policy ->
+  ?obs_offset:('p -> float) ->
+  ('p * float * Utc_model.Forward.prepared * Utc_model.Mstate.t) list ->
+  'p t
+(** [tick] (default 1e-6 s) is the tolerance when matching predicted to
+    observed ACK times; [min_weight] (default 1e-9) prunes hypotheses
+    lighter than [min_weight * heaviest]; [max_hyps] (default 20_000)
+    triggers the cap policy (default [`Top_k]). Initial weights are
+    normalized.
+
+    [obs_offset] (default 0) maps a hypothesis to the shift between a
+    packet's delivery time and the moment its acknowledgment reaches the
+    sender's clock: a hypothesized return-path delay plus receiver clock
+    skew, the §3.4/§3.5 future-work parameters. Deliveries whose shifted
+    acknowledgment is not yet due are held in {!hypothesis.awaiting} and
+    scored in a later window. *)
+
+type update_status =
+  | Consistent
+  | All_rejected
+      (** Every configuration was inconsistent with the observations
+          (model misspecification); the belief was advanced without
+          conditioning so the sender can keep operating. *)
+
+val update :
+  'p t ->
+  sends:(Utc_sim.Timebase.t * Utc_net.Packet.t) list ->
+  acks:ack list ->
+  now:Utc_sim.Timebase.t ->
+  ?now_prio:int ->
+  unit ->
+  'p t * update_status
+(** Advance every hypothesis to [(now, now_prio)] (see
+    {!Utc_model.Forward.run}) with the sender's [sends] injected, then
+    condition on [acks]: a predicted delivery matching an ACK within
+    [tick] contributes its survival likelihood, a predicted delivery with
+    no ACK contributes its loss likelihood, and an outcome that predicts a
+    wrong time — or misses an observed ACK, or has no loss to blame a
+    missing ACK on — is removed. *)
+
+val advance :
+  'p t ->
+  sends:(Utc_sim.Timebase.t * Utc_net.Packet.t) list ->
+  now:Utc_sim.Timebase.t ->
+  ?now_prio:int ->
+  unit ->
+  'p t
+(** {!update} without conditioning (prediction only). *)
+
+(** {1 Queries} *)
+
+val support : 'p t -> 'p hypothesis list
+(** Heaviest first. *)
+
+val top : 'p t -> n:int -> 'p hypothesis list
+
+val size : 'p t -> int
+
+val now : 'p t -> Utc_sim.Timebase.t
+
+val posterior : 'p t -> ('p * float) list
+(** Marginal over parameter vectors (summing the states within each),
+    heaviest first. Weights sum to 1. *)
+
+val marginal : 'p t -> project:('p -> 'k) -> ('k * float) list
+(** Marginal over any projection of the parameters, heaviest first. *)
+
+val map_estimate : 'p t -> 'p * float
+(** Heaviest parameter vector and its posterior mass.
+    @raise Invalid_argument on an empty belief. *)
+
+val mean : 'p t -> value:('p -> float) -> float
+(** Posterior mean of a scalar function of the parameters. *)
+
+val entropy : 'p t -> float
+(** Entropy (nats) over parameter vectors. *)

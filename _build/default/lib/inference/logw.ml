@@ -1,0 +1,16 @@
+let logsumexp xs =
+  let m = List.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else begin
+    let sum = List.fold_left (fun acc x -> acc +. exp (x -. m)) 0.0 xs in
+    m +. log sum
+  end
+
+let normalize xs =
+  let z = logsumexp xs in
+  List.map (fun x -> x -. z) xs
+
+let entropy xs =
+  let normalized = normalize xs in
+  let term acc logp = if logp = neg_infinity then acc else acc -. (exp logp *. logp) in
+  List.fold_left term 0.0 normalized

@@ -1,0 +1,20 @@
+let create ?tick ?min_weight ~particles ~seed seeds =
+  Belief.create ?tick ?min_weight ~max_hyps:particles
+    ~cap_policy:(`Resample (Utc_sim.Rng.create ~seed)) seeds
+
+let ess belief =
+  let weights = List.map (fun (h : _ Belief.hypothesis) -> exp h.Belief.logw) (Belief.support belief) in
+  let sum_sq = List.fold_left (fun acc w -> acc +. (w *. w)) 0.0 weights in
+  if sum_sq <= 0.0 then 0.0 else 1.0 /. sum_sq
+
+let degenerate ?(threshold = 0.5) belief =
+  let size = Belief.size belief in
+  size > 0 && ess belief < threshold *. float_of_int size
+
+let diversity belief =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (h : _ Belief.hypothesis) ->
+      Hashtbl.replace table (Marshal.to_string h.Belief.params []) ())
+    (Belief.support belief);
+  Hashtbl.length table

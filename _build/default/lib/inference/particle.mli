@@ -1,0 +1,34 @@
+(** Bounded particle filtering over network configurations (paper §5).
+
+    The paper notes its rejection-sampling filter "is not as scalable as
+    other approaches" and points at the approximate-inference literature.
+    {!Belief} already supports a bounded particle filter through the
+    [`Resample] cap policy (systematic resampling, unbiased); this module
+    packages that configuration and the standard diagnostics.
+
+    Degeneracy is measured by the effective sample size
+    [ESS = 1 / sum_i w_i^2]: ESS near the particle count means healthy
+    diversity, ESS near 1 means the filter has collapsed onto a single
+    configuration (which, for a {e discrete} grid prior, is often just
+    convergence — unlike continuous-state particle filters, collapse onto
+    the true cell is the goal). *)
+
+val create :
+  ?tick:float ->
+  ?min_weight:float ->
+  particles:int ->
+  seed:int ->
+  ('p * float * Utc_model.Forward.prepared * Utc_model.Mstate.t) list ->
+  'p Belief.t
+(** A belief capped at [particles] hypotheses with systematic resampling
+    (deterministically seeded). *)
+
+val ess : 'p Belief.t -> float
+(** Effective sample size of the current weight vector; between 1 and
+    {!Belief.size}. 0 for an empty belief. *)
+
+val degenerate : ?threshold:float -> 'p Belief.t -> bool
+(** [ess < threshold * size] (default threshold 0.5). *)
+
+val diversity : 'p Belief.t -> int
+(** Number of distinct parameter vectors in the support. *)

@@ -1,0 +1,1 @@
+lib/model/forward.ml: Array Compiled Evprio Float Flow List Mstate Packet Utc_net Utc_sim

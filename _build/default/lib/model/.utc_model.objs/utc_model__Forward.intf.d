@@ -1,0 +1,1 @@
+lib/model/forward.mli: Mstate Utc_net Utc_sim

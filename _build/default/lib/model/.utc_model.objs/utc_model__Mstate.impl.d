@@ -1,0 +1,1 @@
+lib/model/mstate.ml: Array Compiled Evprio Format Int List Marshal Packet Utc_net Utc_sim

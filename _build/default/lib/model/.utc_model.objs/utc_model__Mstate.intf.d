@@ -1,0 +1,1 @@
+lib/model/mstate.mli: Format Utc_net Utc_sim

@@ -1,0 +1,77 @@
+(** Deterministic forking execution of a hypothesized network (§3.2).
+
+    Advances an {!Mstate.t} to a target time, injecting the sender's own
+    transmissions, and returns every weighted way the nondeterministic
+    elements could have behaved, together with the packet deliveries each
+    way produces. This one function serves both of the ISender's jobs: the
+    Bayesian filter runs it over the window since the last wakeup and
+    scores each outcome against the observed ACKs, and the planner runs it
+    into the future to price candidate transmission times.
+
+    Nondeterminism policy:
+    - [Loss] whose downstream contains no queue ("last mile", as the paper
+      recommends) multiplies each delivery's [survive_p] instead of
+      forking — mathematically identical, exponentially cheaper. A [Loss]
+      in front of a queue always forks, whatever [loss_mode] says, because
+      its consequences linger.
+    - Memoryless gates and [Either]s fork at decision epochs of [epoch]
+      seconds with the exact two-state Markov flip probability
+      [(1 - exp (-2 epoch / mtts)) / 2]; with [fork_gates = false] they
+      are frozen in their current state (certainty-equivalent planning).
+    - [Jitter] forks per packet.
+    - Periodic gates are deterministic and never fork. *)
+
+type config = {
+  loss_mode : [ `Likelihood | `Fork ];
+      (** [`Fork] forces forking even at last-mile losses (used by tests
+          to validate the likelihood shortcut). *)
+  fork_gates : bool;
+  epoch : float;  (** Gate decision-epoch length, seconds. *)
+  max_branches : int;
+      (** Soft cap on simultaneous branches; beyond it the lightest branch
+          is discarded (its mass is lost; callers renormalize). *)
+}
+
+val default_config : config
+(** Likelihood losses, forking gates, 1 s epochs, 1024 branches. *)
+
+type delivery = {
+  time : Utc_sim.Timebase.t;
+  packet : Utc_net.Packet.t;
+  survive_p : float;
+      (** Probability the delivery really happened, given last-mile
+          losses. 1 for fork-mode branches. *)
+}
+
+type outcome = {
+  state : Mstate.t;  (** At [until]. *)
+  logw : float;  (** Log-weight of this branch relative to siblings. *)
+  deliveries : delivery list;  (** Ascending in time; all flows. *)
+}
+
+type prepared
+
+val prepare : config -> Utc_net.Compiled.t -> prepared
+(** Precomputes per-node analysis (last-mile losses); reuse across runs. *)
+
+val config_of : prepared -> config
+val compiled_of : prepared -> Utc_net.Compiled.t
+
+val run :
+  ?until_prio:int ->
+  prepared ->
+  Mstate.t ->
+  sends:(Utc_sim.Timebase.t * Utc_net.Packet.t) list ->
+  until:Utc_sim.Timebase.t ->
+  outcome list
+(** [sends] are the endpoint's transmissions in [(state.now, until]],
+    ascending; each enters at the entry of its packet's flow.
+
+    Events at exactly [until] are processed only if their priority class
+    is strictly below [until_prio] (default: all of them). A sender waking
+    at priority [Evprio.arrival flow] passes that class here so the belief
+    stops exactly where the ground-truth engine stood when the wakeup
+    handler ran — same-instant cross-traffic arrivals that the engine has
+    not yet processed stay pending.
+    @raise Invalid_argument on a send before [state.now] or after
+    [until]. *)

@@ -1,0 +1,199 @@
+open Utc_net
+module Tb = Utc_sim.Timebase
+module Fqueue = Utc_sim.Fqueue
+
+type mpkt = { pkt : Packet.t; survive_p : float }
+
+type station = {
+  queue : mpkt Fqueue.t;
+  queued_bits : int;
+  in_service : (mpkt * Tb.t) option;
+}
+
+type nstate =
+  | MStation of station
+  | MGate of { connected : bool }
+  | MEither of { on_first : bool }
+  | MMultipath of { next_first : bool }
+  | MStateless
+
+type pev =
+  | Arrive of Compiled.link * mpkt
+  | Complete of int
+  | Pinger_emit of int * int
+  | Gate_epoch of int
+  | Gate_toggle of int * int
+
+type event = { time : Tb.t; prio : int; seq : int; ev : pev }
+
+type t = {
+  now : Tb.t;
+  nodes : nstate array;
+  pending : event list;
+  next_seq : int;
+}
+
+let event_le a b =
+  let c = Tb.compare a.time b.time in
+  if c <> 0 then c < 0
+  else begin
+    let c = Int.compare a.prio b.prio in
+    if c <> 0 then c < 0 else a.seq <= b.seq
+  end
+
+let insert t ~at ~prio ev =
+  let event = { time = at; prio; seq = t.next_seq; ev } in
+  let rec place = function
+    | [] -> [ event ]
+    | head :: tail -> if event_le head event then head :: place tail else event :: head :: tail
+  in
+  { t with pending = place t.pending; next_seq = t.next_seq + 1 }
+
+let set_node t id nstate =
+  let nodes = Array.copy t.nodes in
+  nodes.(id) <- nstate;
+  { t with nodes }
+
+let station t id =
+  match t.nodes.(id) with
+  | MStation s -> s
+  | MGate _ | MEither _ | MMultipath _ | MStateless -> invalid_arg "Mstate.station: node is not a station"
+
+let station_bits t id =
+  let s = station t id in
+  let in_service =
+    match s.in_service with
+    | None -> 0
+    | Some (mpkt, _) -> mpkt.pkt.Packet.bits
+  in
+  s.queued_bits + in_service
+
+let gate_connected t id =
+  match t.nodes.(id) with
+  | MGate g -> g.connected
+  | MStation _ | MEither _ | MMultipath _ | MStateless -> invalid_arg "Mstate.gate_connected: node is not a gate"
+
+let initial ?(prefill = []) ~epoch compiled =
+  let nodes =
+    Array.init (Compiled.node_count compiled) (fun id ->
+        match Compiled.node compiled id with
+        | Station _ -> MStation { queue = Fqueue.empty; queued_bits = 0; in_service = None }
+        | Gate { kind = Memoryless { initially_connected; _ }; _ }
+        | Gate { kind = Periodic { initially_connected; _ }; _ } ->
+          MGate { connected = initially_connected }
+        | Either { initially_first; _ } -> MEither { on_first = initially_first }
+        | Multipath _ -> MMultipath { next_first = true }
+        | Delay _ | Loss _ | Jitter _ | Divert _ -> MStateless)
+  in
+  let t = { now = Tb.zero; nodes; pending = []; next_seq = 0 } in
+  (* Pingers: first emission at time 0. *)
+  let t, _ =
+    List.fold_left
+      (fun (t, i) (p : Compiled.pinger) ->
+        (insert t ~at:Tb.zero ~prio:(Evprio.arrival p.flow) (Pinger_emit (i, 0)), i + 1))
+      (t, 0) compiled.Compiled.pingers
+  in
+  (* Gates and Eithers: their clocks. *)
+  let t = ref t in
+  Array.iteri
+    (fun id n ->
+      match (n : Compiled.node) with
+      | Gate { kind = Periodic { interval; _ }; _ } ->
+        t := insert !t ~at:interval ~prio:Evprio.gate_toggle (Gate_toggle (id, 1))
+      | Gate { kind = Memoryless _; _ } | Either _ ->
+        t := insert !t ~at:epoch ~prio:Evprio.gate_toggle (Gate_epoch id)
+      | Station _ | Delay _ | Loss _ | Jitter _ | Divert _ | Multipath _ -> ())
+    compiled.Compiled.nodes;
+  (* Prefill: the first packet is in service from time 0. *)
+  let prefill_station t (id, packets) =
+    match packets with
+    | [] -> t
+    | head :: rest ->
+      let rate =
+        match Compiled.node compiled id with
+        | Station { rate_bps; _ } -> rate_bps
+        | Delay _ | Loss _ | Jitter _ | Gate _ | Either _ | Divert _ | Multipath _ ->
+          invalid_arg "Mstate.initial: prefill target is not a station"
+      in
+      let head_mpkt = { pkt = head; survive_p = 1.0 } in
+      let completion = float_of_int head.Packet.bits /. rate in
+      let rest_mpkts = List.map (fun pkt -> { pkt; survive_p = 1.0 }) rest in
+      let queued_bits = List.fold_left (fun acc m -> acc + m.pkt.Packet.bits) 0 rest_mpkts in
+      let s =
+        {
+          queue = Fqueue.of_list rest_mpkts;
+          queued_bits;
+          in_service = Some (head_mpkt, completion);
+        }
+      in
+      insert (set_node t id (MStation s)) ~at:completion ~prio:Evprio.service_complete
+        (Complete id)
+  in
+  List.fold_left prefill_station !t prefill
+
+(* --- canonical form --- *)
+
+type canon_station = {
+  c_queue : mpkt list;
+  c_queued_bits : int;
+  c_in_service : (mpkt * Tb.t) option;
+}
+
+type canon_nstate =
+  | CStation of canon_station
+  | CGate of bool
+  | CEither of bool
+  | CMultipath of bool
+  | CStateless
+
+type canon = {
+  c_now : Tb.t;
+  c_nodes : canon_nstate list;
+  c_pending : (Tb.t * int * int * pev) list; (* seq renumbered in order *)
+}
+
+let canonical t =
+  let canon_node = function
+    | MStation s ->
+      CStation
+        {
+          c_queue = Fqueue.to_list s.queue;
+          c_queued_bits = s.queued_bits;
+          c_in_service = s.in_service;
+        }
+    | MGate g -> CGate g.connected
+    | MEither e -> CEither e.on_first
+    | MMultipath m -> CMultipath m.next_first
+    | MStateless -> CStateless
+  in
+  let c_pending = List.mapi (fun i e -> (e.time, e.prio, i, e.ev)) t.pending in
+  let canon = { c_now = t.now; c_nodes = Array.to_list (Array.map canon_node t.nodes); c_pending } in
+  Marshal.to_string canon []
+
+let pp_pev ppf = function
+  | Arrive (_, mpkt) -> Format.fprintf ppf "arrive %a (p=%.3g)" Packet.pp mpkt.pkt mpkt.survive_p
+  | Complete id -> Format.fprintf ppf "complete@@%d" id
+  | Pinger_emit (i, k) -> Format.fprintf ppf "pinger%d emit#%d" i k
+  | Gate_epoch id -> Format.fprintf ppf "epoch@@%d" id
+  | Gate_toggle (id, k) -> Format.fprintf ppf "toggle#%d@@%d" k id
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>t=%a@," Tb.pp t.now;
+  Array.iteri
+    (fun id n ->
+      match n with
+      | MStation s ->
+        let in_service ppf = function
+          | None -> Format.fprintf ppf "idle"
+          | Some (m, tc) -> Format.fprintf ppf "%a until %a" Packet.pp m.pkt Tb.pp tc
+        in
+        Format.fprintf ppf "%d: station q=%d pkts (%d bits), %a@," id
+          (Utc_sim.Fqueue.length s.queue) s.queued_bits in_service s.in_service
+      | MGate g -> Format.fprintf ppf "%d: gate %s@," id (if g.connected then "on" else "off")
+      | MEither e -> Format.fprintf ppf "%d: either %s@," id (if e.on_first then "first" else "second")
+      | MMultipath m ->
+        Format.fprintf ppf "%d: multipath next=%s@," id (if m.next_first then "first" else "second")
+      | MStateless -> ())
+    t.nodes;
+  let pp_event ppf e = Format.fprintf ppf "%a p%d %a" Tb.pp e.time e.prio pp_pev e.ev in
+  Format.fprintf ppf "pending: @[<v>%a@]@]" (Format.pp_print_list pp_event) t.pending

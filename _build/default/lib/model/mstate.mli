@@ -1,0 +1,76 @@
+(** Persistent state of one hypothesized network configuration.
+
+    Where the ground-truth runtime holds mutable queues on an engine, a
+    hypothesis holds an immutable snapshot: per-node states, the pending
+    future events (packets in flight, the next pinger emission, gate
+    epochs), and the hypothesis' current time. Forking a configuration is
+    O(1) sharing; {!canonical} gives a key under which configurations that
+    have converged back to the same state compact into one (paper §3.2). *)
+
+type mpkt = { pkt : Utc_net.Packet.t; survive_p : float }
+(** A packet in flight, carrying the probability that it survived the
+    likelihood-mode [Loss] elements crossed so far. *)
+
+type station = {
+  queue : mpkt Utc_sim.Fqueue.t;
+  queued_bits : int;
+  in_service : (mpkt * Utc_sim.Timebase.t) option;
+      (** The packet being transmitted and its completion time. *)
+}
+
+type nstate =
+  | MStation of station
+  | MGate of { connected : bool }
+  | MEither of { on_first : bool }
+  | MMultipath of { next_first : bool }
+  | MStateless
+
+(** Scheduled future happenings inside the hypothesis. *)
+type pev =
+  | Arrive of Utc_net.Compiled.link * mpkt
+  | Complete of int  (** Station [id] finishes its packet in service. *)
+  | Pinger_emit of int * int  (** Pinger index, emission number. *)
+  | Gate_epoch of int  (** Memoryless gate/either decision epoch (forks). *)
+  | Gate_toggle of int * int  (** Periodic gate, toggle number. *)
+
+type event = { time : Utc_sim.Timebase.t; prio : int; seq : int; ev : pev }
+
+type t = {
+  now : Utc_sim.Timebase.t;
+  nodes : nstate array;
+  pending : event list;  (** Ascending by [(time, prio, seq)]. *)
+  next_seq : int;
+}
+
+val initial :
+  ?prefill:(int * Utc_net.Packet.t list) list ->
+  epoch:float ->
+  Utc_net.Compiled.t ->
+  t
+(** State at time 0: pingers scheduled from emission 0, periodic gates
+    from toggle 1, memoryless gates and [Either]s given a first decision
+    epoch at [epoch]. [prefill] seeds station queues (modeling the §4
+    "initial fullness"): the first listed packet is already in service,
+    the rest are queued. *)
+
+val insert : t -> at:Utc_sim.Timebase.t -> prio:int -> pev -> t
+(** Insert a future event (keeps [pending] sorted). *)
+
+val set_node : t -> int -> nstate -> t
+
+val station : t -> int -> station
+(** @raise Invalid_argument if the node is not a station. *)
+
+val station_bits : t -> int -> int
+(** Queued bits plus the packet in service, the "fullness" a sender
+    reasons about. *)
+
+val gate_connected : t -> int -> bool
+
+val canonical : t -> string
+(** A byte string equal for two states exactly when they are
+    observationally identical: event sequence numbers are renumbered in
+    order and queues flattened, so histories that converged compare
+    equal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/net/compiled.ml: Array Flow Format List Topology

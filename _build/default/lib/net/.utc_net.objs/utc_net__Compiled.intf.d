@@ -1,0 +1,1 @@
+lib/net/compiled.mli: Flow Format Topology

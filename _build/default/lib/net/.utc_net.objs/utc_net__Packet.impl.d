@@ -1,0 +1,1 @@
+lib/net/packet.ml: Float Flow Format Int Utc_sim

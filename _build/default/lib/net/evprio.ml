@@ -1,0 +1,10 @@
+let gate_toggle = -20
+let service_complete = -10
+
+let arrival flow =
+  match (flow : Flow.t) with
+  | Primary -> 1
+  | Cross -> 2
+  | Aux i -> 3 + i
+
+let endpoint_wakeup = 10

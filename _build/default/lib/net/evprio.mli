@@ -1,0 +1,19 @@
+(** Shared tie-break classes for simultaneous events.
+
+    Both interpreters must process events that fall on the same instant in
+    the same order, or a hypothesis holding the true parameters would
+    mispredict packet timings and be wrongly rejected by the Bayesian
+    filter. The canonical order at one instant is: gates toggle first, then
+    links finish the packet in service, then packets arrive (primary flow
+    before cross traffic, then auxiliary flows). *)
+
+val gate_toggle : int
+val service_complete : int
+
+val arrival : Flow.t -> int
+(** Priority class of a packet arrival (or source emission) event. *)
+
+val endpoint_wakeup : int
+(** Sender wakeups (timer expiry, batched ACK processing) run after every
+    same-instant network event; senders pass this as the belief window's
+    [until_prio] so model and engine cut at the same point. *)

@@ -1,0 +1,26 @@
+type t =
+  | Primary
+  | Cross
+  | Aux of int
+
+let equal a b =
+  match a, b with
+  | Primary, Primary -> true
+  | Cross, Cross -> true
+  | Aux i, Aux j -> i = j
+  | (Primary | Cross | Aux _), _ -> false
+
+let rank = function
+  | Primary -> 0
+  | Cross -> 1
+  | Aux i -> 2 + i
+
+let compare a b = Int.compare (rank a) (rank b)
+let hash = rank
+
+let to_string = function
+  | Primary -> "primary"
+  | Cross -> "cross"
+  | Aux i -> "aux" ^ string_of_int i
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

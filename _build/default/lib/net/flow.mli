@@ -1,0 +1,17 @@
+(** Flow identity.
+
+    [Primary] is the modeled endpoint's own flow (the ISender's, or the
+    measured TCP download's). [Cross] is the paper's cross traffic (the
+    PINGER). [Aux n] labels additional flows in multi-sender extension
+    experiments. *)
+
+type t =
+  | Primary
+  | Cross
+  | Aux of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pomdp/mdp.mli:

@@ -1,0 +1,1 @@
+lib/pomdp/sender_mdp.ml: Array Format Mdp Stdlib

@@ -1,0 +1,1 @@
+lib/pomdp/sender_mdp.mli: Format Mdp

@@ -1,0 +1,1 @@
+lib/sim/fqueue.ml: List

@@ -1,0 +1,50 @@
+type handle = { mutable live : bool }
+
+type event = { handle : handle; thunk : unit -> unit }
+
+type t = { mutable clock : Timebase.t; queue : event Pheap.t; rng : Rng.t }
+
+let create ?(seed = 1) () = { clock = Timebase.zero; queue = Pheap.create (); rng = Rng.create ~seed }
+let now t = t.clock
+let rng t = t.rng
+
+let schedule ?(prio = 0) t ~at thunk =
+  if Timebase.( <. ) at t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule: at=%a is before now=%a" Timebase.pp at Timebase.pp t.clock);
+  let handle = { live = true } in
+  Pheap.add ~prio t.queue ~time:at { handle; thunk };
+  handle
+
+let schedule_after ?prio t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule ?prio t ~at:(Timebase.add t.clock delay) thunk
+
+let cancel handle = handle.live <- false
+let is_cancelled handle = not handle.live
+
+let step t =
+  let rec loop () =
+    match Pheap.pop t.queue with
+    | None -> false
+    | Some (time, ev) ->
+      if ev.handle.live then begin
+        t.clock <- time;
+        ev.handle.live <- false;
+        ev.thunk ();
+        true
+      end
+      else loop ()
+  in
+  loop ()
+
+let run ?(until = Timebase.infinity) t =
+  let rec loop () =
+    match Pheap.min_time t.queue with
+    | None -> ()
+    | Some time when Timebase.( >. ) time until -> t.clock <- until
+    | Some _ -> if step t then loop ()
+  in
+  loop ()
+
+let pending t = Pheap.length t.queue

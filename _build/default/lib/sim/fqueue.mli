@@ -1,0 +1,30 @@
+(** Persistent FIFO queue (pair-of-lists).
+
+    Used for element states inside the belief-state interpreter, where a
+    network configuration must be forked cheaply and compared structurally.
+    {!to_list} gives a canonical representation independent of the internal
+    front/back split, so two queues holding the same elements are equal
+    after [to_list] even when their internals differ. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a -> 'a t -> 'a t
+(** Enqueue at the back. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Dequeue from the front. *)
+
+val peek : 'a t -> 'a option
+
+val of_list : 'a list -> 'a t
+(** Front of the queue is the head of the list. *)
+
+val to_list : 'a t -> 'a list
+(** Front first. Canonical. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Front-to-back fold. *)

@@ -1,0 +1,85 @@
+type 'a entry = { time : Timebase.t; prio : int; tie : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable size : int;
+  mutable next_tie : int;
+}
+
+let create () = { arr = Array.make 16 None; size = 0; next_tie = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_lt a b =
+  let c = Timebase.compare a.time b.time in
+  if c <> 0 then c < 0
+  else begin
+    let c = Int.compare a.prio b.prio in
+    if c <> 0 then c < 0 else a.tie < b.tie
+  end
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && entry_lt (get t left) (get t !smallest) then smallest := left;
+  if right < t.size && entry_lt (get t right) (get t !smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add ?(prio = 0) t ~time payload =
+  if t.size = Array.length t.arr then grow t;
+  t.arr.(t.size) <- Some { time; prio; tie = t.next_tie; payload };
+  t.next_tie <- t.next_tie + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_time t = if t.size = 0 then None else Some (get t 0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.arr.(0) <- t.arr.(t.size);
+    t.arr.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.payload)
+  end
+
+let clear t =
+  Array.fill t.arr 0 (Array.length t.arr) None;
+  t.size <- 0
+
+let to_list t =
+  let copy = { arr = Array.copy t.arr; size = t.size; next_tie = t.next_tie } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some pair -> drain (pair :: acc)
+  in
+  drain []

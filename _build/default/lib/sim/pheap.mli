@@ -1,0 +1,29 @@
+(** Mutable binary min-heap keyed by [(time, prio, tie)].
+
+    The event queue of the discrete-event engine. Ties on time are broken
+    first by an explicit priority class (lower runs first) and then by an
+    insertion sequence number, so that simultaneous events run in a
+    deterministic order that the belief-state interpreter can mirror
+    exactly (e.g. service completions before packet arrivals). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : ?prio:int -> 'a t -> time:Timebase.t -> 'a -> unit
+(** Insert with the next tie-break sequence number. [prio] defaults to 0;
+    lower priorities run earlier among equal times. *)
+
+val min_time : 'a t -> Timebase.t option
+(** Earliest key, without removing it. *)
+
+val pop : 'a t -> (Timebase.t * 'a) option
+(** Remove and return the element with the smallest [(time, tie)] key. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (Timebase.t * 'a) list
+(** All elements in key order; O(n log n). For tests and debugging. *)

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  mutable samples : (Timebase.t * float) list; (* newest first *)
+  mutable events : (Timebase.t * string * float) list; (* newest first *)
+  mutable length : int;
+}
+
+let create ~name = { name; samples = []; events = []; length = 0 }
+let name t = t.name
+
+let record t ~time value =
+  t.samples <- (time, value) :: t.samples;
+  t.length <- t.length + 1
+
+let record_event t ~time ?(value = 1.0) tag = t.events <- (time, tag, value) :: t.events
+let samples t = List.rev t.samples
+let events t = List.rev t.events
+let length t = t.length
+
+let last t =
+  match t.samples with
+  | [] -> None
+  | newest :: _ -> Some newest
+
+let between t ~lo ~hi =
+  let keep (time, _) = Timebase.( >=. ) time lo && Timebase.( <=. ) time hi in
+  List.filter keep (samples t)
+
+let clear t =
+  t.samples <- [];
+  t.events <- [];
+  t.length <- 0
+
+let pp_rows ppf t =
+  let row (time, value) = Format.fprintf ppf "%.6f %.6f@\n" time value in
+  List.iter row (samples t)

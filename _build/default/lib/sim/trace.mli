@@ -1,0 +1,34 @@
+(** Timestamped event recording.
+
+    Experiments record scalar samples (e.g. RTT, sequence numbers, queue
+    occupancy) into named traces and dump them as [time value] rows, the
+    format every figure in the paper is plotted from. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val record : t -> time:Timebase.t -> float -> unit
+
+val record_event : t -> time:Timebase.t -> ?value:float -> string -> unit
+(** Tagged point (e.g. ["drop"], ["timeout"]); [value] defaults to [1.]. *)
+
+val samples : t -> (Timebase.t * float) list
+(** All scalar samples in recording order. *)
+
+val events : t -> (Timebase.t * string * float) list
+(** All tagged points in recording order. *)
+
+val length : t -> int
+
+val last : t -> (Timebase.t * float) option
+
+val between : t -> lo:Timebase.t -> hi:Timebase.t -> (Timebase.t * float) list
+(** Samples with [lo <= time <= hi]. *)
+
+val clear : t -> unit
+
+val pp_rows : Format.formatter -> t -> unit
+(** One "[time value]" row per sample, gnuplot-ready. *)

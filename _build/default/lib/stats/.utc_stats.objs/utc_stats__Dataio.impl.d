@@ -1,0 +1,1 @@
+lib/stats/dataio.ml: Filename Fun List Option Printf String Sys

@@ -1,0 +1,61 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ?(log_y = false) list =
+  let usable = List.filter (fun s -> s.points <> []) list in
+  if usable = [] then "(no data)\n"
+  else begin
+    let transform y = if log_y then log10 (Float.max 1e-12 y) else y in
+    let all_points = List.concat_map (fun s -> s.points) usable in
+    let xs = List.map fst all_points in
+    let ys = List.map (fun (_, y) -> transform y) all_points in
+    let x_min = List.fold_left Float.min infinity xs in
+    let x_max = List.fold_left Float.max neg_infinity xs in
+    let y_min = List.fold_left Float.min infinity ys in
+    let y_max = List.fold_left Float.max neg_infinity ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_series index s =
+      let marker = markers.(index mod Array.length markers) in
+      let plot (x, y) =
+        let cx =
+          int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+        in
+        let cy =
+          int_of_float
+            (Float.round ((transform y -. y_min) /. y_span *. float_of_int (height - 1)))
+        in
+        if cx >= 0 && cx < width && cy >= 0 && cy < height then
+          grid.(height - 1 - cy).(cx) <- marker
+      in
+      List.iter plot s.points
+    in
+    List.iteri plot_series usable;
+    let buffer = Buffer.create ((width + 12) * (height + 4)) in
+    let untransform v = if log_y then 10.0 ** v else v in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s%s vs %s\n" (if log_y then "log-y " else "") y_label x_label);
+    let legend =
+      String.concat "  "
+        (List.mapi
+           (fun i s -> Printf.sprintf "%c=%s" markers.(i mod Array.length markers) s.label)
+           usable)
+    in
+    Buffer.add_string buffer (legend ^ "\n");
+    Array.iteri
+      (fun row line ->
+        let value = y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span) in
+        Buffer.add_string buffer (Printf.sprintf "%10.3g |%s\n" (untransform value) (String.init width (Array.get line))))
+      grid;
+    Buffer.add_string buffer (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buffer (Printf.sprintf "%10s  %-8.6g%*s%8.6g\n" "" x_min (width - 16) "" x_max);
+    Buffer.contents buffer
+  end
+
+let render_one ?width ?height ?x_label ?y_label ?log_y ~label points =
+  render ?width ?height ?x_label ?y_label ?log_y [ { label; points } ]

@@ -1,0 +1,29 @@
+(** Series and table files: gnuplot-ready output, simple input.
+
+    The experiment drivers print human-readable reports; this module
+    persists the underlying numbers so figures can be re-plotted without
+    re-running simulations. Series files use the gnuplot "index" layout
+    (blocks separated by two blank lines, each preceded by a [# label]
+    comment); tables are plain comma-separated values with a header. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+val write_series : path:string -> series list -> unit
+(** Overwrites [path]. *)
+
+val read_series : path:string -> (series list, string) result
+(** Parses files produced by {!write_series} (and tolerates plain
+    two-column files, which load as a single unlabeled series). *)
+
+val write_csv : path:string -> header:string list -> float list list -> unit
+(** Rows must match the header's width.
+    @raise Invalid_argument on a ragged row. *)
+
+val read_csv : path:string -> (string list * float list list, string) result
+
+val with_temp : prefix:string -> (string -> 'a) -> 'a
+(** Run with a fresh temporary file path; the file is removed
+    afterwards. For tests. *)

@@ -1,0 +1,10 @@
+(** Allocation fairness metrics. *)
+
+val jain : float list -> float
+(** Jain's index [(sum x)^2 / (n * sum x^2)]: 1 when all equal, 1/n when
+    one flow takes everything. Allocations must be non-negative; 0 if the
+    total is 0.
+    @raise Invalid_argument on an empty list. *)
+
+val max_min_ratio : float list -> float
+(** [min / max] of the allocations; 1 when equal. 0 if max is 0. *)

@@ -1,0 +1,48 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile samples ~q =
+  if samples = [] then invalid_arg "Summary.percentile: empty list";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q out of range";
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let mean samples =
+  if samples = [] then invalid_arg "Summary.mean: empty list";
+  List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let of_list samples =
+  match samples with
+  | [] -> None
+  | _ :: _ ->
+    let n = List.length samples in
+    let m = mean samples in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 samples /. float_of_int n
+    in
+    Some
+      {
+        count = n;
+        mean = m;
+        stddev = sqrt var;
+        min = List.fold_left Float.min infinity samples;
+        max = List.fold_left Float.max neg_infinity samples;
+        p50 = percentile samples ~q:0.5;
+        p90 = percentile samples ~q:0.9;
+        p99 = percentile samples ~q:0.99;
+      }
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g" t.count
+    t.mean t.stddev t.min t.p50 t.p90 t.p99 t.max

@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Cc Evprio Flow Hashtbl List Option Packet Rto Stdlib Utc_net Utc_sim

@@ -1,0 +1,30 @@
+(** Congestion-control algorithms behind the classic TCP sender.
+
+    All variants share Jacobson's architecture the paper describes (§2):
+    the whole network is modeled by one variable, cwnd, adjusted by
+    incoming ACKs. The window is counted in packets (segments of the
+    sender's uniform packet size). *)
+
+type t = {
+  name : string;
+  cwnd : unit -> float;  (** Current window, packets (>= 1). *)
+  ssthresh : unit -> float;
+  on_ack : newly_acked:int -> rtt:float -> now:float -> unit;
+      (** Cumulative ACK advanced by [newly_acked] packets. *)
+  on_loss_event : now:float -> unit;
+      (** Triple-duplicate-ACK loss (fast retransmit). *)
+  on_timeout : now:float -> unit;
+}
+
+val tahoe : ?initial_cwnd:float -> unit -> t
+(** Slow start + congestion avoidance; any loss resets cwnd to 1. *)
+
+val reno : ?initial_cwnd:float -> unit -> t
+(** Tahoe + fast recovery: a dupack loss halves the window instead. *)
+
+val cubic : ?initial_cwnd:float -> unit -> t
+(** CUBIC window growth (Ha, Rhee & Xu 2008): beta = 0.7, C = 0.4. *)
+
+val vegas : ?initial_cwnd:float -> ?alpha:float -> ?beta:float -> unit -> t
+(** Delay-based: keeps between [alpha] and [beta] packets queued
+    (defaults 2 and 4). *)

@@ -1,0 +1,26 @@
+(** Retransmission timeout estimation: Jacobson/Karn (RFC 6298).
+
+    srtt and rttvar are the smoothed round-trip time and its linear
+    deviation — exactly the "average estimates ... without attempting to
+    quantify their uncertainty" that the paper contrasts its approach
+    with (§3). *)
+
+type t
+
+val create : ?initial_rto:float -> ?min_rto:float -> ?max_rto:float -> unit -> t
+(** Defaults: initial 1 s, min 0.2 s (common practice; RFC floor is 1 s),
+    max 60 s. *)
+
+val observe : t -> rtt:float -> unit
+(** Feed a round-trip sample from a non-retransmitted segment (Karn's
+    algorithm: never sample retransmissions). *)
+
+val on_timeout : t -> unit
+(** Exponential backoff: doubles the timeout (clamped to max). *)
+
+val rto : t -> float
+
+val srtt : t -> float option
+(** [None] before the first sample. *)
+
+val rttvar : t -> float option

@@ -1,0 +1,56 @@
+(** A classic TCP-style reliable sender over the simulated network.
+
+    Window-based transmission with cumulative ACKs, fast retransmit on
+    three duplicate ACKs (optionally NewReno partial-ACK recovery), and a
+    Jacobson/Karn retransmission timer — the architecture the paper uses
+    as its baseline and foil. The receiver half lives here too: wire
+    {!on_delivery} to the flow's deliveries and the receiver acknowledges
+    instantly over the lossless return path, mirroring the ISender's
+    setup so comparisons are apples-to-apples.
+
+    Packets carry the stream sequence number in [Packet.seq]; a
+    retransmission reuses the sequence number. *)
+
+type config = {
+  flow : Utc_net.Flow.t;
+  bits : int;  (** Segment size. *)
+  make_cc : unit -> Cc.t;
+  dupack_threshold : int;  (** Default 3. *)
+  newreno : bool;  (** Partial-ACK retransmission during recovery. *)
+  backlog : int option;  (** Packets to send; [None] = unbounded download. *)
+}
+
+val default_config : config
+(** Reno, unbounded download, 1500-byte segments. *)
+
+type t
+
+val create : Utc_sim.Engine.t -> config -> inject:(Utc_net.Packet.t -> unit) -> t
+
+val start : t -> unit
+
+val on_delivery : t -> Utc_net.Packet.t -> unit
+(** Data packet reached the receiver (wire via {!Utc_core.Receiver.subscribe}
+    or a plain node graph). *)
+
+(** {1 Introspection} *)
+
+val cwnd : t -> float
+val in_flight : t -> int
+
+val delivered : t -> int
+(** Cumulatively acknowledged packets. *)
+
+val sent_count : t -> int
+(** Transmissions, including retransmissions. *)
+
+val retransmissions : t -> int
+val timeouts : t -> int
+
+val rtt_trace : t -> (Utc_sim.Timebase.t * float) list
+(** Per-ACK RTT samples (time, seconds), oldest first — Figure 1's data. *)
+
+val cwnd_trace : t -> (Utc_sim.Timebase.t * float) list
+
+val sent : t -> (Utc_sim.Timebase.t * int) list
+(** Transmission log (time, seq), oldest first. *)

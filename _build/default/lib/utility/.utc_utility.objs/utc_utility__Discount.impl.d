@@ -1,0 +1,1 @@
+lib/utility/discount.ml:

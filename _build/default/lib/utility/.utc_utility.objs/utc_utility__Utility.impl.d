@@ -1,0 +1,1 @@
+lib/utility/utility.ml: Discount Flow List Packet Utc_model Utc_net

@@ -1,0 +1,1 @@
+lib/utility/utility.mli: Utc_model Utc_sim

@@ -1,0 +1,20 @@
+(** The paper's temporal discount (§3.3).
+
+    A packet received τ in the future is worth [bits * exp (-tau / kappa)].
+    The paper writes the discount per millisecond and notes that the
+    accumulated utility of a packet stream is then nearly linear in
+    throughput, because [sum_{t=0..inf} exp (-t/k) ~ k + 0.5]. [kappa] is
+    the timescale in seconds here; the geometric-sum identity is exposed
+    for the §3.3 reproduction benchmark. *)
+
+val gamma : kappa:float -> float -> float
+(** [gamma ~kappa tau] = [exp (-. tau /. kappa)]; [tau] and [kappa] in
+    seconds, [kappa > 0]. Monotone decreasing, 1 at [tau = 0]. *)
+
+val geometric_sum : kappa:float -> float
+(** Exact [sum_{t=0..inf} exp (-t/kappa)] = [1 / (1 - exp (-1/kappa))]
+    (unit steps of [t], matching the paper's per-millisecond sum when
+    [kappa] is read in milliseconds). *)
+
+val paper_approximation : kappa:float -> float
+(** The paper's claimed value [kappa + 0.5]. *)

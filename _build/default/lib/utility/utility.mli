@@ -1,0 +1,51 @@
+(** The explicit utility function the sender maximizes (§3.3).
+
+    [u(delivery) = survive_p * bits * gamma(time - now)] for the sender's
+    own packets; cross-traffic packets count [alpha * survive_p * bits]
+    (optionally discounted too), minus an optional penalty on the latency
+    the cross traffic experiences
+    ([latency_penalty * survive_p * bits * (time - sent_at)]).
+
+    The paper's Figure 3 varies [alpha]: below 1 the sender has no reason
+    to defer to cross traffic; at 1 it fills the link's residual capacity;
+    above 1 it becomes increasingly deferential. *)
+
+type config = {
+  alpha : float;  (** Relative value of cross-traffic throughput. *)
+  kappa : float;  (** Discount timescale, seconds. *)
+  latency_penalty : float;
+      (** Penalty per bit-second of cross-traffic delay (utility units). *)
+  cross_discounted : bool;
+      (** Apply the temporal discount to cross traffic too. The paper's §4
+          utility is "our own instantaneous throughput [discounted], plus
+          alpha times the throughput achieved by the cross traffic"
+          [undiscounted] — with it undiscounted, harming cross traffic
+          means dropping its packets, which is what produces the sharp
+          alpha = 1 boundary of Figure 3. Discounting cross traffic is the
+          optional "penalty for creating latency for other users" of
+          §3.3. *)
+}
+
+val default : config
+(** [alpha = 1], [kappa = 60 s], no latency penalty, cross traffic
+    undiscounted (the §4 experiment's utility). *)
+
+val make :
+  ?alpha:float ->
+  ?kappa:float ->
+  ?latency_penalty:float ->
+  ?cross_discounted:bool ->
+  unit ->
+  config
+
+val of_delivery : config -> now:Utc_sim.Timebase.t -> Utc_model.Forward.delivery -> float
+(** Instantaneous utility of one (possibly uncertain) delivery, from the
+    vantage point of [now]. Deliveries of [Flow.Primary] count at weight
+    1, all other flows at [alpha] with the latency penalty applied. *)
+
+val of_deliveries :
+  config -> now:Utc_sim.Timebase.t -> Utc_model.Forward.delivery list -> float
+
+val of_outcomes : config -> now:Utc_sim.Timebase.t -> Utc_model.Forward.outcome list -> float
+(** Expected utility across forked outcomes, weighting each by
+    [exp logw]. *)

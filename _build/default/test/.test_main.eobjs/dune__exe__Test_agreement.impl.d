@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Compiled Dump Evprio Float Flow Fmt Format List Packet Printf QCheck QCheck_alcotest Topology Utc_elements Utc_model Utc_net Utc_sim

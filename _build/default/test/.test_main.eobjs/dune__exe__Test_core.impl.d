@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Compiled Flow List Packet Printf Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim

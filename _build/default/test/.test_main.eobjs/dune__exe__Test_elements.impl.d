@@ -1,0 +1,1 @@
+test/test_elements.ml: Alcotest Compiled Evprio Float Flow Hashtbl List Option Packet Topology Utc_elements Utc_net Utc_sim

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Compiled Flow Gen List Packet QCheck QCheck_alcotest Topology Utc_inference Utc_model Utc_net Utc_sim

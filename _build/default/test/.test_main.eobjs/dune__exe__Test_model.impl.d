@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Compiled Evprio Float Flow Format List Packet String Topology Utc_model Utc_net

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Compiled Evprio Flow Format List Packet String Topology Utc_net

@@ -1,0 +1,1 @@
+test/test_pomdp.ml: Alcotest Array Format List Printf String Utc_pomdp

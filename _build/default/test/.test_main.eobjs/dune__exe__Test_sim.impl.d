@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Format List Pheap QCheck QCheck_alcotest Rng Timebase Trace Utc_sim

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Evprio List Option Packet Printf Utc_elements Utc_net Utc_sim Utc_stats Utc_tcp

@@ -1,0 +1,1 @@
+test/test_utility.ml: Alcotest Compiled Float Flow List Packet QCheck QCheck_alcotest Topology Utc_model Utc_net Utc_utility

@@ -1,0 +1,344 @@
+(* The reproduction's load-bearing invariant: the ground-truth runtime and
+   the belief-state interpreter agree bit-exactly on deterministic
+   configurations, and statistically on stochastic ones. *)
+open Utc_net
+module Engine = Utc_sim.Engine
+module Runtime = Utc_elements.Runtime
+module Forward = Utc_model.Forward
+module Mstate = Utc_model.Mstate
+
+let ground_truth ?(seed = 42) ~topology ~sends ~until () =
+  let engine = Engine.create ~seed () in
+  let deliveries = ref [] in
+  let callbacks =
+    Runtime.callbacks
+      ~deliver:(fun flow pkt ->
+        deliveries := (Engine.now engine, flow, pkt.Packet.seq) :: !deliveries)
+      ()
+  in
+  let runtime = Runtime.build engine (Compiled.compile_exn topology) callbacks in
+  List.iter
+    (fun (at, pkt) ->
+      ignore
+        (Engine.schedule ~prio:(Evprio.arrival pkt.Packet.flow) engine ~at (fun () ->
+             Runtime.inject runtime pkt.Packet.flow pkt)))
+    sends;
+  Engine.run ~until engine;
+  List.rev !deliveries
+
+let model_run ?(config = Forward.default_config) ~topology ~sends ~until () =
+  let compiled = Compiled.compile_exn topology in
+  let prepared = Forward.prepare config compiled in
+  let state = Mstate.initial ~epoch:config.Forward.epoch compiled in
+  Forward.run prepared state ~sends ~until
+
+let delivery_list (o : Forward.outcome) =
+  List.map
+    (fun (d : Forward.delivery) -> (d.Forward.time, d.packet.Packet.flow, d.packet.Packet.seq))
+    o.Forward.deliveries
+
+let primary_sends times =
+  List.map (fun (at, seq) -> (at, Packet.make ~flow:Flow.Primary ~seq ~sent_at:at ())) times
+
+let check_exact ~topology ~sends ~until =
+  let gt = ground_truth ~topology ~sends ~until () in
+  match model_run ~topology ~sends ~until () with
+  | [ outcome ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%d deliveries bit-identical" (List.length gt))
+      true
+      (gt = delivery_list outcome && gt <> [])
+  | outcomes -> Alcotest.failf "expected deterministic single outcome, got %d" (List.length outcomes)
+
+let figure2_squarewave () =
+  let topology =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.0 ~pinger_pps:0.7
+      ~cross_gate:(Topology.squarewave ~interval:100.0 ())
+  in
+  let sends = primary_sends [ (0.5, 0); (3.0, 1); (3.1, 2); (5.0, 3); (20.0, 4); (101.0, 5); (110.0, 6) ] in
+  check_exact ~topology ~sends ~until:150.0
+
+let tie_at_pinger_emission () =
+  (* A primary send colliding exactly with a pinger emission instant. *)
+  let topology =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.0 ~pinger_pps:0.5
+      ~cross_gate:(Topology.series [])
+  in
+  let sends = primary_sends [ (2.0, 0); (4.0, 1); (6.0, 2) ] in
+  check_exact ~topology ~sends ~until:30.0
+
+let multi_station_chain () =
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.series
+          [
+            Topology.buffer ~capacity_bits:48_000;
+            Topology.throughput ~rate_bps:24_000.0;
+            Topology.delay ~seconds:0.05;
+            Topology.buffer ~capacity_bits:24_000;
+            Topology.throughput ~rate_bps:12_000.0;
+          ];
+    }
+  in
+  let sends = primary_sends (List.init 12 (fun i -> (0.2 *. float_of_int i, i))) in
+  check_exact ~topology ~sends ~until:60.0
+
+let diverter_paths () =
+  let topology =
+    {
+      Topology.sources =
+        [
+          Topology.endpoint Flow.Primary;
+          Topology.pinger ~flow:Flow.Cross ~rate_pps:0.4 ();
+        ];
+      shared =
+        Topology.Diverter
+          {
+            routes = [ (Flow.Cross, Topology.delay ~seconds:0.7) ];
+            otherwise =
+              Topology.series
+                [ Topology.buffer ~capacity_bits:60_000; Topology.throughput ~rate_bps:12_000.0 ];
+          };
+    }
+  in
+  let sends = primary_sends [ (0.3, 0); (1.1, 1); (1.2, 2) ] in
+  check_exact ~topology ~sends ~until:20.0
+
+let overflow_agreement () =
+  (* Tail drops must happen at the same arrivals in both interpreters. *)
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.series
+          [ Topology.buffer ~capacity_bits:24_000; Topology.throughput ~rate_bps:12_000.0 ];
+    }
+  in
+  let sends = primary_sends (List.init 10 (fun i -> (0.05 *. float_of_int i, i))) in
+  check_exact ~topology ~sends ~until:30.0
+
+let loss_statistical_agreement () =
+  (* With last-mile loss, ground-truth delivery count over many packets
+     should match the model's survive_p mass. *)
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared = Topology.series [ Topology.throughput ~rate_bps:1_200_000.0; Topology.loss ~rate:0.2 ];
+    }
+  in
+  let n = 5_000 in
+  let sends = primary_sends (List.init n (fun i -> (0.02 *. float_of_int i, i))) in
+  let until = 200.0 in
+  let gt = ground_truth ~topology ~sends ~until () in
+  let expected =
+    match model_run ~topology ~sends ~until () with
+    | [ outcome ] ->
+      List.fold_left
+        (fun acc (d : Forward.delivery) -> acc +. d.Forward.survive_p)
+        0.0 outcome.Forward.deliveries
+    | _ -> Alcotest.fail "likelihood mode should not fork"
+  in
+  let observed = float_of_int (List.length gt) in
+  Alcotest.(check (float 1e-9)) "model mass = n(1-p)" (0.8 *. float_of_int n) expected;
+  if Float.abs (observed -. expected) > 80.0 then
+    Alcotest.failf "loss agreement off: observed %g expected %g" observed expected
+
+let squarewave_model_covers_intermittent_truth () =
+  (* The §4 situation reversed: when the model uses the same squarewave as
+     the truth, the (single) branch agrees even across toggles at exactly
+     packet instants. *)
+  let topology =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.0 ~pinger_pps:0.25
+      ~cross_gate:(Topology.squarewave ~interval:4.0 ())
+  in
+  let sends = primary_sends (List.init 8 (fun i -> (2.0 *. float_of_int i, i))) in
+  check_exact ~topology ~sends ~until:40.0
+
+let fork_covers_truth () =
+  (* With an Intermittent model of a square-wave truth, at least one fork
+     of the model must reproduce the ground-truth deliveries exactly (the
+     fork whose gate history matches the wave). *)
+  let truth =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.0 ~pinger_pps:0.7
+      ~cross_gate:(Topology.squarewave ~interval:5.0 ())
+  in
+  let model =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.0 ~pinger_pps:0.7
+      ~cross_gate:(Topology.intermittent ~mean_time_to_switch:5.0 ())
+  in
+  let sends = primary_sends [ (0.5, 0); (2.5, 1); (6.0, 2); (8.5, 3) ] in
+  let until = 11.0 in
+  let gt = ground_truth ~topology:truth ~sends ~until () in
+  let outcomes = model_run ~topology:model ~sends ~until () in
+  let matching =
+    List.filter (fun o -> delivery_list o = gt) outcomes
+  in
+  Alcotest.(check bool) "some fork matches the square wave" true (matching <> []);
+  (* And the matching branches carry nonzero probability. *)
+  List.iter
+    (fun (o : Forward.outcome) ->
+      Alcotest.(check bool) "positive weight" true (exp o.Forward.logw > 0.0))
+    matching
+
+let suite =
+  [
+    ("figure2 squarewave exact", `Quick, figure2_squarewave);
+    ("tie at pinger emission", `Quick, tie_at_pinger_emission);
+    ("multi-station chain exact", `Quick, multi_station_chain);
+    ("diverter paths exact", `Quick, diverter_paths);
+    ("overflow agreement", `Quick, overflow_agreement);
+    ("loss statistical agreement", `Quick, loss_statistical_agreement);
+    ("squarewave model exact", `Quick, squarewave_model_covers_intermittent_truth);
+    ("intermittent fork covers truth", `Quick, fork_covers_truth);
+  ]
+
+(* --- property: random deterministic topologies agree bit-exactly --- *)
+
+let gen_element =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map2
+            (fun rate cap ->
+              Topology.series
+                [
+                  Topology.buffer ~capacity_bits:cap; Topology.throughput ~rate_bps:rate;
+                ])
+            (oneofl [ 6_000.0; 12_000.0; 24_000.0 ])
+            (oneofl [ 24_000; 48_000; 96_000 ]) );
+        (2, map (fun s -> Topology.delay ~seconds:s) (oneofl [ 0.05; 0.25; 0.5; 1.0 ]));
+        ( 1,
+          map2
+            (fun interval on -> Topology.squarewave ~initially_connected:on ~interval ())
+            (oneofl [ 3.0; 7.0; 12.0 ])
+            bool );
+        ( 1,
+          map2
+            (fun a b ->
+              Topology.multipath
+                ~first:(Topology.delay ~seconds:a)
+                ~second:(Topology.delay ~seconds:b)
+                ())
+            (oneofl [ 0.1; 0.4 ])
+            (oneofl [ 0.9; 1.6 ]) );
+      ])
+
+let gen_case =
+  QCheck.Gen.(
+    let* depth = int_range 1 4 in
+    let* elements = list_size (return depth) gen_element in
+    let* with_pinger = bool in
+    let* pinger_rate = oneofl [ 0.3; 0.5 ] in
+    let* send_count = int_range 2 10 in
+    let* raw_times = list_size (return send_count) (float_bound_exclusive 30.0) in
+    let times = List.sort_uniq compare (List.map (fun t -> Float.round (t *. 20.0) /. 20.0) raw_times) in
+    let sources =
+      Topology.endpoint Flow.Primary
+      ::
+      (if with_pinger then [ Topology.pinger ~flow:Flow.Cross ~rate_pps:pinger_rate () ] else [])
+    in
+    return ({ Topology.sources; shared = Topology.series elements }, times))
+
+let arbitrary_case =
+  QCheck.make gen_case ~print:(fun (topology, times) ->
+      Format.asprintf "%a with sends at %a" Topology.pp topology
+        Fmt.(Dump.list float)
+        times)
+
+let agreement_prop =
+  QCheck.Test.make ~name:"random deterministic topologies agree bit-exactly" ~count:60
+    arbitrary_case
+    (fun (topology, times) ->
+      QCheck.assume (Topology.validate topology = Ok ());
+      let sends = primary_sends (List.mapi (fun i t -> (t, i)) times) in
+      let until = 60.0 in
+      let gt = ground_truth ~topology ~sends ~until () in
+      match model_run ~topology ~sends ~until () with
+      | [ outcome ] -> delivery_list outcome = gt
+      | _ -> false)
+
+let fork_mass_prop =
+  (* With forking loss, outcome weights always partition to 1. *)
+  QCheck.Test.make ~name:"fork-mode outcome weights sum to 1" ~count:40
+    QCheck.(pair (float_range 0.05 0.95) (int_range 1 6))
+    (fun (rate, sends) ->
+      let topology =
+        {
+          Topology.sources = [ Topology.endpoint Flow.Primary ];
+          shared =
+            Topology.series
+              [ Topology.loss ~rate; Topology.throughput ~rate_bps:12_000.0 ];
+        }
+      in
+      let config = { Forward.default_config with loss_mode = `Fork } in
+      let sends = primary_sends (List.init sends (fun i -> (float_of_int i, i))) in
+      let outcomes = model_run ~config ~topology ~sends ~until:30.0 () in
+      let total = List.fold_left (fun acc (o : Forward.outcome) -> acc +. exp o.Forward.logw) 0.0 outcomes in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let property_suite =
+  [
+    QCheck_alcotest.to_alcotest agreement_prop;
+    QCheck_alcotest.to_alcotest fork_mass_prop;
+  ]
+
+let suite = suite @ property_suite
+
+(* --- Multipath agreement --- *)
+
+let multipath_round_robin_exact () =
+  (* Deterministic round-robin across asymmetric sub-paths reorders
+     packets; both interpreters must agree bit-exactly, including the
+     alternation state across incremental windows. *)
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.multipath
+          ~first:
+            (Topology.series
+               [ Topology.buffer ~capacity_bits:48_000; Topology.throughput ~rate_bps:24_000.0 ])
+          ~second:(Topology.delay ~seconds:1.7)
+          ();
+    }
+  in
+  let sends = primary_sends (List.init 9 (fun i -> (0.3 *. float_of_int i, i))) in
+  check_exact ~topology ~sends ~until:30.0
+
+let multipath_random_fork_mass () =
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.multipath ~policy:(`Random 0.3) ~first:(Topology.delay ~seconds:0.5)
+          ~second:(Topology.series [])
+          ();
+    }
+  in
+  let sends = primary_sends [ (0.0, 0); (1.0, 1) ] in
+  let outcomes = model_run ~topology ~sends ~until:10.0 () in
+  Alcotest.(check int) "2 packets x 2 paths = 4 branches" 4 (List.length outcomes);
+  let total = List.fold_left (fun acc (o : Forward.outcome) -> acc +. exp o.Forward.logw) 0.0 outcomes in
+  Alcotest.(check (float 1e-9)) "mass partitions" 1.0 total;
+  (* Branch with both packets on the slow path has weight 0.09. *)
+  let both_slow =
+    List.filter
+      (fun (o : Forward.outcome) ->
+        List.for_all (fun (d : Forward.delivery) -> d.Forward.time > d.packet.Packet.sent_at +. 0.4)
+          o.Forward.deliveries)
+      outcomes
+  in
+  match both_slow with
+  | [ o ] -> Alcotest.(check (float 1e-9)) "0.3^2" 0.09 (exp o.Forward.logw)
+  | _ -> Alcotest.fail "expected exactly one both-slow branch"
+
+let multipath_suite =
+  [
+    ("multipath round-robin exact", `Quick, multipath_round_robin_exact);
+    ("multipath random fork mass", `Quick, multipath_random_fork_mass);
+  ]
+
+let suite = suite @ multipath_suite

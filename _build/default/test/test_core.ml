@@ -1,0 +1,278 @@
+(* Tests for the ISender core: planner decisions, controller behavior,
+   receiver hub. *)
+open Utc_net
+module Engine = Utc_sim.Engine
+module Belief = Utc_inference.Belief
+module Forward = Utc_model.Forward
+module Mstate = Utc_model.Mstate
+module Planner = Utc_core.Planner
+module Isender = Utc_core.Isender
+module Receiver = Utc_core.Receiver
+
+type params = { rate : float; fill : int }
+
+let topology p =
+  {
+    Topology.sources = [ Topology.endpoint Flow.Primary ];
+    shared =
+      Topology.series
+        [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:p.rate ];
+  }
+
+let seed_of p weight =
+  let compiled = Compiled.compile_exn (topology p) in
+  let prepared = Forward.prepare Forward.default_config compiled in
+  let prefill =
+    if p.fill = 0 then []
+    else
+      [
+        ( List.hd (Compiled.station_ids compiled),
+          List.init p.fill (fun i -> Packet.make ~flow:Flow.Cross ~seq:(-1 - i) ~sent_at:0.0 ()) );
+      ]
+  in
+  (p, weight, prepared, Mstate.initial ~prefill ~epoch:1.0 compiled)
+
+let make_packet at = Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:at ()
+
+(* --- Planner --- *)
+
+let planner_rejects_bad_delays () =
+  let belief = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let bad = { Planner.default_config with delays = [ 1.0; 2.0 ] } in
+  Alcotest.check_raises "must start at 0"
+    (Invalid_argument "Planner: delays must start with 0 and be positive afterwards") (fun () ->
+      ignore (Planner.decide bad ~belief ~now:0.0 ~pending:[] ~make_packet))
+
+let planner_sends_on_known_empty_net () =
+  let belief = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let decision, evaluations =
+    Planner.decide Planner.default_config ~belief ~now:0.0 ~pending:[] ~make_packet
+  in
+  Alcotest.(check bool) "send now" true (decision = Planner.Send_now);
+  Alcotest.(check int) "one evaluation per candidate" (List.length Planner.default_config.Planner.delays)
+    (List.length evaluations);
+  (* Net utility of sending now on an empty known link is near full value. *)
+  let net0 = (List.hd evaluations).Planner.net_utility in
+  Alcotest.(check bool) "positive" true (net0 > 0.0)
+
+let planner_defers_when_buffer_maybe_full () =
+  (* Half the mass says the queue is completely full (one packet in
+     service plus eight queued = all 96k bits of capacity); deferring
+     clears the drop risk at tiny discount cost. *)
+  let belief =
+    Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 0.5; seed_of { rate = 12_000.0; fill = 9 } 0.5 ]
+  in
+  let decision, _ = Planner.decide Planner.default_config ~belief ~now:0.0 ~pending:[] ~make_packet in
+  match decision with
+  | Planner.Sleep d -> Alcotest.(check bool) "waits for possible drain" true (d > 0.0)
+  | Planner.Send_now -> Alcotest.fail "should defer under drop risk"
+
+let planner_accounts_pending_sends () =
+  (* With 8 of our own packets already pending into a 96k buffer, another
+     immediate send would be tail-dropped: the planner must sleep. *)
+  let belief = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let pending =
+    List.init 9 (fun i -> (0.0, Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:0.0 ()))
+  in
+  let decision, _ = Planner.decide Planner.default_config ~belief ~now:0.0 ~pending ~make_packet in
+  match decision with
+  | Planner.Sleep _ -> ()
+  | Planner.Send_now -> Alcotest.fail "would overflow its own queue"
+
+let planner_empty_belief_sleeps () =
+  let belief = Belief.create [] in
+  let decision, evaluations =
+    Planner.decide Planner.default_config ~belief ~now:0.0 ~pending:[] ~make_packet
+  in
+  Alcotest.(check bool) "sleeps max" true (decision = Planner.Sleep 32.0);
+  Alcotest.(check int) "no evaluations" 0 (List.length evaluations)
+
+(* --- Receiver hub --- *)
+
+let receiver_routes_and_counts () =
+  let engine = Engine.create () in
+  let receiver = Receiver.create engine in
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary; Topology.pinger ~flow:Flow.Cross ~rate_pps:1.0 () ];
+      shared = Topology.series [ Topology.throughput ~rate_bps:120_000.0 ];
+    }
+  in
+  let runtime = Utc_elements.Runtime.build engine (Compiled.compile_exn topology) (Receiver.callbacks receiver) in
+  let heard = ref [] in
+  Receiver.subscribe receiver Flow.Primary (fun t pkt -> heard := (t, pkt.Packet.seq) :: !heard);
+  ignore
+    (Engine.schedule ~prio:1 engine ~at:0.5 (fun () ->
+         Utc_elements.Runtime.inject runtime Flow.Primary
+           (Packet.make ~flow:Flow.Primary ~seq:7 ~sent_at:0.5 ())));
+  Engine.run ~until:3.2 engine;
+  Alcotest.(check int) "primary count" 1 (Receiver.delivered_count receiver Flow.Primary);
+  Alcotest.(check int) "cross count" 4 (Receiver.delivered_count receiver Flow.Cross);
+  Alcotest.(check bool) "subscriber heard seq 7" true (List.mem_assoc 0.6 !heard);
+  let bps = Receiver.throughput receiver Flow.Cross ~since:0.0 ~until:3.2 in
+  Alcotest.(check bool) "cross throughput positive" true (bps > 0.0)
+
+let receiver_queue_and_drops () =
+  let engine = Engine.create () in
+  let receiver = Receiver.create engine in
+  let topology =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.series
+          [ Topology.buffer ~capacity_bits:12_000; Topology.throughput ~rate_bps:12_000.0 ];
+    }
+  in
+  let runtime = Utc_elements.Runtime.build engine (Compiled.compile_exn topology) (Receiver.callbacks receiver) in
+  for i = 0 to 3 do
+    ignore
+      (Engine.schedule ~prio:1 engine ~at:(0.01 *. float_of_int i) (fun () ->
+           Utc_elements.Runtime.inject runtime Flow.Primary
+             (Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:0.0 ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "two tail drops" 2 (List.length (Receiver.drops receiver));
+  Alcotest.(check bool) "queue trace nonempty" true
+    (Receiver.queue_trace receiver ~node_id:0 <> [])
+
+(* --- ISender end-to-end --- *)
+
+let run_isender ?(duration = 60.0) ?(config = Isender.default_config) ~seeds ~truth () =
+  let engine = Engine.create ~seed:8 () in
+  let receiver = Receiver.create engine in
+  let runtime = Utc_elements.Runtime.build engine (Compiled.compile_exn truth) (Receiver.callbacks receiver) in
+  let belief = Belief.create seeds in
+  let isender =
+    Isender.create engine config ~belief ~inject:(fun pkt ->
+        Utc_elements.Runtime.inject runtime Flow.Primary pkt)
+  in
+  Receiver.subscribe receiver Flow.Primary (fun _ pkt -> Isender.on_ack isender pkt);
+  Isender.start isender;
+  Engine.run ~until:duration engine;
+  (isender, receiver)
+
+let isender_tracks_link_speed () =
+  let seeds =
+    List.concat_map
+      (fun rate -> List.map (fun fill -> seed_of { rate; fill } 1.0) [ 0; 4; 9 ])
+      [ 6_000.0; 12_000.0; 24_000.0 ]
+  in
+  let isender, _ = run_isender ~seeds ~truth:(topology { rate = 12_000.0; fill = 0 }) () in
+  let sent = Isender.sent_count isender in
+  (* Link carries 60 packets in 60 s; tentative start costs a few. *)
+  Alcotest.(check bool) (Printf.sprintf "sends at link speed (got %d)" sent) true
+    (sent >= 50 && sent <= 62);
+  Alcotest.(check int) "no rejected updates" 0 (Isender.rejected_updates isender);
+  let best, mass = Belief.map_estimate (Isender.belief isender) in
+  Alcotest.(check (float 0.0)) "link identified" 12_000.0 best.rate;
+  Alcotest.(check bool) "confident" true (mass > 0.99)
+
+let isender_tentative_start () =
+  (* The fill=9 hypotheses leave no room at all, so a blind send at t=0
+     risks an immediate tail drop. *)
+  let seeds =
+    List.concat_map
+      (fun rate -> List.map (fun fill -> seed_of { rate; fill } 1.0) [ 0; 4; 9 ])
+      [ 6_000.0; 12_000.0; 24_000.0 ]
+  in
+  let isender, _ = run_isender ~seeds ~truth:(topology { rate = 12_000.0; fill = 0 }) () in
+  match Isender.sent isender with
+  | (first, _) :: _ -> Alcotest.(check bool) "does not fire blind at t=0" true (first > 0.0)
+  | [] -> Alcotest.fail "never sent"
+
+let isender_acks_recorded () =
+  let seeds = [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let isender, receiver = run_isender ~seeds ~truth:(topology { rate = 12_000.0; fill = 0 }) () in
+  Alcotest.(check int) "every delivery acked"
+    (Receiver.delivered_count receiver Flow.Primary)
+    (List.length (Isender.acked isender));
+  Alcotest.(check bool) "evaluations exposed" true (Isender.last_evaluations isender <> [])
+
+let isender_wakeup_hook_runs () =
+  let seeds = [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let engine = Engine.create ~seed:8 () in
+  let receiver = Receiver.create engine in
+  let runtime =
+    Utc_elements.Runtime.build engine
+      (Compiled.compile_exn (topology { rate = 12_000.0; fill = 0 }))
+      (Receiver.callbacks receiver)
+  in
+  let belief = Belief.create seeds in
+  let isender =
+    Isender.create engine Isender.default_config ~belief ~inject:(fun pkt ->
+        Utc_elements.Runtime.inject runtime Flow.Primary pkt)
+  in
+  Receiver.subscribe receiver Flow.Primary (fun _ pkt -> Isender.on_ack isender pkt);
+  let hook_count = ref 0 in
+  Isender.on_wakeup isender (fun _ _ -> incr hook_count);
+  Isender.start isender;
+  Engine.run ~until:10.0 engine;
+  Alcotest.(check bool) "hook ran" true (!hook_count > 0);
+  Isender.stop isender;
+  let count_after_stop = !hook_count in
+  Engine.run ~until:20.0 engine;
+  Alcotest.(check int) "stop cancels wakeups" count_after_stop !hook_count
+
+let isender_under_loss_keeps_consistency () =
+  (* Last-mile loss: the belief must never hit All_rejected (the
+     likelihood explains missing ACKs). *)
+  let lossy rate =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary ];
+      shared =
+        Topology.series
+          [
+            Topology.buffer ~capacity_bits:96_000;
+            Topology.throughput ~rate_bps:rate;
+            Topology.loss ~rate:0.2;
+          ];
+    }
+  in
+  let seeds =
+    List.map
+      (fun rate ->
+        let compiled = Compiled.compile_exn (lossy rate) in
+        ( { rate; fill = 0 },
+          1.0,
+          Forward.prepare Forward.default_config compiled,
+          Mstate.initial ~epoch:1.0 compiled ))
+      [ 6_000.0; 12_000.0; 24_000.0 ]
+  in
+  let isender, _ = run_isender ~seeds ~truth:(lossy 12_000.0) ~duration:80.0 () in
+  Alcotest.(check int) "no rejections under loss" 0 (Isender.rejected_updates isender);
+  let best, _ = Belief.map_estimate (Isender.belief isender) in
+  Alcotest.(check (float 0.0)) "rate identified despite loss" 12_000.0 best.rate;
+  Alcotest.(check bool) "kept sending" true (Isender.sent_count isender > 40)
+
+let suite =
+  [
+    ("planner rejects bad delays", `Quick, planner_rejects_bad_delays);
+    ("planner sends on known empty net", `Quick, planner_sends_on_known_empty_net);
+    ("planner defers under drop risk", `Quick, planner_defers_when_buffer_maybe_full);
+    ("planner accounts pending", `Quick, planner_accounts_pending_sends);
+    ("planner empty belief", `Quick, planner_empty_belief_sleeps);
+    ("receiver routes and counts", `Quick, receiver_routes_and_counts);
+    ("receiver queue and drops", `Quick, receiver_queue_and_drops);
+    ("isender tracks link speed", `Quick, isender_tracks_link_speed);
+    ("isender tentative start", `Quick, isender_tentative_start);
+    ("isender acks recorded", `Quick, isender_acks_recorded);
+    ("isender wakeup hook", `Quick, isender_wakeup_hook_runs);
+    ("isender under loss", `Quick, isender_under_loss_keeps_consistency);
+  ]
+
+(* --- suggest_delays --- *)
+
+let suggest_delays_scales_with_belief () =
+  let fast = Belief.create [ seed_of { rate = 120_000.0; fill = 0 } 1.0 ] in
+  let slow = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let fast_delays = Planner.suggest_delays fast in
+  let slow_delays = Planner.suggest_delays slow in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (List.hd fast_delays);
+  (* Service times 0.1 s vs 1 s: the grids scale by 10x. *)
+  Alcotest.(check (float 1e-9)) "scaling" 10.0 (List.nth slow_delays 2 /. List.nth fast_delays 2);
+  (* The suggested grid is a valid planner configuration. *)
+  let config = { Planner.default_config with Planner.delays = slow_delays } in
+  let decision, _ = Planner.decide config ~belief:slow ~now:0.0 ~pending:[] ~make_packet in
+  Alcotest.(check bool) "usable" true (decision = Planner.Send_now)
+
+let suite = suite @ [ ("suggest delays scales", `Quick, suggest_delays_scales_with_belief) ]

@@ -1,0 +1,519 @@
+(* Tests for the ground-truth interpreter and the extension elements
+   (AQM, scheduling, ARQ). *)
+open Utc_net
+module Engine = Utc_sim.Engine
+module Runtime = Utc_elements.Runtime
+
+let net ?(sources = [ Topology.endpoint Flow.Primary ]) shared = { Topology.sources; shared }
+
+(* Build a runtime recording deliveries and drops; return helpers. *)
+let build ?(seed = 1) topology =
+  let engine = Engine.create ~seed () in
+  let deliveries = ref [] in
+  let drops = ref [] in
+  let callbacks =
+    Runtime.callbacks
+      ~deliver:(fun flow pkt -> deliveries := (Engine.now engine, flow, pkt.Packet.seq) :: !deliveries)
+      ~on_drop:(fun ~node_id:_ ~reason pkt -> drops := (Engine.now engine, reason, pkt.Packet.seq) :: !drops)
+      ()
+  in
+  let runtime = Runtime.build engine (Compiled.compile_exn topology) callbacks in
+  (engine, runtime, (fun () -> List.rev !deliveries), fun () -> List.rev !drops)
+
+let send runtime engine ~at ~seq ?(flow = Flow.Primary) () =
+  ignore
+    (Engine.schedule ~prio:(Evprio.arrival flow) engine ~at (fun () ->
+         Runtime.inject runtime flow (Packet.make ~flow ~seq ~sent_at:at ())))
+
+let station_service_timing () =
+  (* 12,000-bit packets at 12,000 bit/s: one second each, FIFO. *)
+  let topology =
+    net (Topology.series [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:12_000.0 ])
+  in
+  let engine, runtime, deliveries, _ = build topology in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  send runtime engine ~at:0.1 ~seq:1 ();
+  send runtime engine ~at:5.0 ~seq:2 ();
+  Engine.run engine;
+  Alcotest.(check bool) "timings" true
+    (deliveries () = [ (1.0, Flow.Primary, 0); (2.0, Flow.Primary, 1); (6.0, Flow.Primary, 2) ])
+
+let station_tail_drop () =
+  (* Capacity of two queued packets; the third to queue is dropped. *)
+  let topology =
+    net (Topology.series [ Topology.buffer ~capacity_bits:24_000; Topology.throughput ~rate_bps:12_000.0 ])
+  in
+  let engine, runtime, deliveries, drops = build topology in
+  (* seq 0 goes straight to service; 1 and 2 queue; 3 overflows. *)
+  List.iteri (fun i () -> send runtime engine ~at:(0.01 *. float_of_int i) ~seq:i ()) [ (); (); (); () ];
+  Engine.run engine;
+  Alcotest.(check int) "three delivered" 3 (List.length (deliveries ()));
+  match drops () with
+  | [ (_, Runtime.Tail_drop, 3) ] -> ()
+  | other -> Alcotest.failf "expected tail drop of seq 3, got %d drops" (List.length other)
+
+let station_in_service_excluded_from_occupancy () =
+  (* Capacity of exactly one packet: one in service plus one queued fit. *)
+  let topology =
+    net (Topology.series [ Topology.buffer ~capacity_bits:12_000; Topology.throughput ~rate_bps:12_000.0 ])
+  in
+  let engine, runtime, deliveries, drops = build topology in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  send runtime engine ~at:0.1 ~seq:1 ();
+  send runtime engine ~at:0.2 ~seq:2 ();
+  Engine.run engine;
+  Alcotest.(check int) "two delivered" 2 (List.length (deliveries ()));
+  Alcotest.(check int) "one dropped" 1 (List.length (drops ()))
+
+let delay_element () =
+  let topology = net (Topology.delay ~seconds:0.5) in
+  let engine, runtime, deliveries, _ = build topology in
+  send runtime engine ~at:1.0 ~seq:0 ();
+  Engine.run engine;
+  Alcotest.(check bool) "delayed" true (deliveries () = [ (1.5, Flow.Primary, 0) ])
+
+let loss_element_rate () =
+  let topology = net (Topology.loss ~rate:0.3) in
+  let engine, runtime, deliveries, drops = build topology in
+  for i = 0 to 9_999 do
+    send runtime engine ~at:(float_of_int i *. 0.001) ~seq:i ()
+  done;
+  Engine.run engine;
+  let delivered = List.length (deliveries ()) in
+  let dropped = List.length (drops ()) in
+  Alcotest.(check int) "conservation" 10_000 (delivered + dropped);
+  let rate = float_of_int dropped /. 10_000.0 in
+  if Float.abs (rate -. 0.3) > 0.02 then Alcotest.failf "loss rate off: %g" rate
+
+let loss_extremes () =
+  let engine, runtime, deliveries, _ = build (net (Topology.loss ~rate:0.0)) in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  Engine.run engine;
+  Alcotest.(check int) "rate 0 delivers" 1 (List.length (deliveries ()));
+  let engine, runtime, deliveries, drops = build (net (Topology.loss ~rate:1.0)) in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  Engine.run engine;
+  Alcotest.(check int) "rate 1 drops" 1 (List.length (drops ()));
+  Alcotest.(check int) "rate 1 delivers none" 0 (List.length (deliveries ()))
+
+let jitter_element () =
+  let topology = net (Topology.jitter ~seconds:0.25 ~probability:0.5) in
+  let engine, runtime, deliveries, _ = build topology in
+  let n = 4_000 in
+  for i = 0 to n - 1 do
+    send runtime engine ~at:(float_of_int i) ~seq:i ()
+  done;
+  Engine.run engine;
+  let jittered =
+    List.length
+      (List.filter (fun (t, _, seq) -> t > float_of_int seq +. 0.1) (deliveries ()))
+  in
+  Alcotest.(check int) "all delivered" n (List.length (deliveries ()));
+  let rate = float_of_int jittered /. float_of_int n in
+  if Float.abs (rate -. 0.5) > 0.03 then Alcotest.failf "jitter rate off: %g" rate
+
+let squarewave_gate () =
+  let topology = net (Topology.squarewave ~interval:10.0 ()) in
+  let engine, runtime, deliveries, drops = build topology in
+  send runtime engine ~at:5.0 ~seq:0 ();
+  send runtime engine ~at:15.0 ~seq:1 ();
+  (* connected again in [20, 30) *)
+  send runtime engine ~at:25.0 ~seq:2 ();
+  Engine.run ~until:40.0 engine;
+  Alcotest.(check bool) "on/off/on" true
+    (deliveries () = [ (5.0, Flow.Primary, 0); (25.0, Flow.Primary, 2) ]);
+  match drops () with
+  | [ (15.0, Runtime.Gate_closed, 1) ] -> ()
+  | _ -> Alcotest.fail "expected gate drop at 15 s"
+
+let squarewave_boundary () =
+  (* A packet arriving exactly at the toggle instant sees the new state:
+     gates toggle first (Evprio). *)
+  let topology = net (Topology.squarewave ~interval:10.0 ()) in
+  let engine, runtime, deliveries, drops = build topology in
+  send runtime engine ~at:10.0 ~seq:0 ();
+  send runtime engine ~at:20.0 ~seq:1 ();
+  Engine.run ~until:30.0 engine;
+  Alcotest.(check int) "dropped at 10" 1 (List.length (drops ()));
+  Alcotest.(check bool) "delivered at 20" true (deliveries () = [ (20.0, Flow.Primary, 1) ])
+
+let intermittent_statistics () =
+  (* Over a long run with mtts = 5 s the gate should be connected about
+     half the time: send probes every 0.1 s and count survivors. *)
+  let topology = net (Topology.intermittent ~mean_time_to_switch:5.0 ()) in
+  let engine, runtime, deliveries, drops = build topology ~seed:4 in
+  let n = 40_000 in
+  for i = 0 to n - 1 do
+    send runtime engine ~at:(0.1 *. float_of_int i) ~seq:i ()
+  done;
+  Engine.run ~until:4100.0 engine;
+  let delivered = List.length (deliveries ()) in
+  Alcotest.(check int) "conservation" n (delivered + List.length (drops ()));
+  let fraction = float_of_int delivered /. float_of_int n in
+  if Float.abs (fraction -. 0.5) > 0.06 then Alcotest.failf "duty cycle off: %g" fraction
+
+let pinger_cadence () =
+  let topology =
+    {
+      Topology.sources = [ Topology.pinger ~flow:Flow.Cross ~rate_pps:2.0 () ];
+      shared = Topology.series [];
+    }
+  in
+  let engine, _, deliveries, _ = build topology in
+  Engine.run ~until:2.6 engine;
+  let times = List.map (fun (t, _, _) -> t) (deliveries ()) in
+  Alcotest.(check bool) "emissions at k/r" true (times = [ 0.0; 0.5; 1.0; 1.5; 2.0; 2.5 ])
+
+let diverter_routes_by_flow () =
+  let shared =
+    Topology.Diverter
+      {
+        routes = [ (Flow.Cross, Topology.delay ~seconds:10.0) ];
+        otherwise = Topology.series [];
+      }
+  in
+  let topology =
+    net ~sources:[ Topology.endpoint Flow.Primary; Topology.endpoint Flow.Cross ] shared
+  in
+  let engine, runtime, deliveries, _ = build topology in
+  send runtime engine ~at:1.0 ~seq:0 ();
+  send runtime engine ~at:1.0 ~seq:0 ~flow:Flow.Cross ();
+  Engine.run engine;
+  Alcotest.(check bool) "primary direct, cross delayed" true
+    (deliveries () = [ (1.0, Flow.Primary, 0); (11.0, Flow.Cross, 0) ])
+
+let either_switches () =
+  let shared =
+    Topology.Either
+      {
+        first = Topology.series [];
+        second = Topology.delay ~seconds:100.0;
+        mean_time_to_switch = 2.0;
+        initially_first = true;
+      }
+  in
+  let engine, runtime, deliveries, _ = build (net shared) ~seed:9 in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    send runtime engine ~at:(0.01 *. float_of_int i) ~seq:i ()
+  done;
+  Engine.run ~until:200.0 engine;
+  let direct =
+    List.length (List.filter (fun (t, _, seq) -> t < (0.01 *. float_of_int seq) +. 1.0) (deliveries ()))
+  in
+  Alcotest.(check int) "all delivered eventually" n (List.length (deliveries ()));
+  let fraction = float_of_int direct /. float_of_int n in
+  if Float.abs (fraction -. 0.5) > 0.2 then Alcotest.failf "either split off: %g" fraction
+
+let gate_introspection () =
+  let topology = net (Topology.squarewave ~interval:10.0 ()) in
+  let engine = Engine.create () in
+  let runtime = Runtime.build engine (Compiled.compile_exn topology) (Runtime.callbacks ()) in
+  Alcotest.(check bool) "initially on" true (Runtime.gate_connected runtime ~node_id:0);
+  Engine.run ~until:15.0 engine;
+  Alcotest.(check bool) "off after toggle" false (Runtime.gate_connected runtime ~node_id:0)
+
+let queue_introspection () =
+  let topology =
+    net (Topology.series [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:12_000.0 ])
+  in
+  let engine, runtime, _, _ = build topology in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  send runtime engine ~at:0.1 ~seq:1 ();
+  send runtime engine ~at:0.2 ~seq:2 ();
+  Engine.run ~until:0.5 engine;
+  Alcotest.(check int) "two queued" 2 (Runtime.queue_packets runtime ~node_id:0);
+  Alcotest.(check int) "bits" 24_000 (Runtime.queue_bits runtime ~node_id:0);
+  Alcotest.(check bool) "in service" true (Runtime.in_service runtime ~node_id:0)
+
+(* --- Fifo_server --- *)
+
+let fifo_server_basic () =
+  let engine = Engine.create () in
+  let out = ref [] in
+  let next = Utc_elements.Node.of_fn (fun pkt -> out := (Engine.now engine, pkt.Packet.seq) :: !out) in
+  let server = Utc_elements.Fifo_server.create engine ~rate_bps:12_000.0 ~next () in
+  ignore
+    (Engine.schedule engine ~at:0.0 (fun () ->
+         Utc_elements.Fifo_server.push server (Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:0.0 ());
+         Utc_elements.Fifo_server.push server (Packet.make ~flow:Flow.Primary ~seq:1 ~sent_at:0.0 ())));
+  Engine.run engine;
+  Alcotest.(check bool) "serialized" true (List.rev !out = [ (1.0, 0); (2.0, 1) ])
+
+let fifo_server_dequeue_drop () =
+  let engine = Engine.create () in
+  let out = ref 0 in
+  let next = Utc_elements.Node.of_fn (fun _ -> incr out) in
+  let on_dequeue pkt ~enqueued_at:_ = if pkt.Packet.seq mod 2 = 0 then `Drop else `Forward in
+  let server = Utc_elements.Fifo_server.create engine ~rate_bps:12_000.0 ~next ~on_dequeue () in
+  ignore
+    (Engine.schedule engine ~at:0.0 (fun () ->
+         for seq = 0 to 5 do
+           Utc_elements.Fifo_server.push server (Packet.make ~flow:Flow.Primary ~seq ~sent_at:0.0 ())
+         done));
+  Engine.run engine;
+  Alcotest.(check int) "odd seqs forwarded" 3 !out
+
+(* --- AQM --- *)
+
+let flood station_push engine ~rate ~n =
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.schedule ~prio:1 engine
+         ~at:(float_of_int i /. rate)
+         (fun () -> station_push (Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:0.0 ())))
+  done
+
+let red_drops_under_load () =
+  let engine = Engine.create ~seed:2 () in
+  let delivered = ref 0 in
+  let next = Utc_elements.Node.of_fn (fun _ -> incr delivered) in
+  let params = Utc_elements.Aqm.default_red ~capacity_bits:120_000 in
+  let red = Utc_elements.Aqm.red engine ~rate_bps:12_000.0 ~params ~next () in
+  (* Offered load 3x capacity. *)
+  flood (Utc_elements.Aqm.node red).Utc_elements.Node.push engine ~rate:3.0 ~n:300;
+  Engine.run engine;
+  Alcotest.(check int) "conservation" 300 (!delivered + Utc_elements.Aqm.drops red);
+  Alcotest.(check bool) "drops happened" true (Utc_elements.Aqm.drops red > 50);
+  Alcotest.(check bool) "some delivered" true (!delivered > 50)
+
+let red_no_drops_light_load () =
+  let engine = Engine.create ~seed:2 () in
+  let next = Utc_elements.Node.sink in
+  let params = Utc_elements.Aqm.default_red ~capacity_bits:120_000 in
+  let red = Utc_elements.Aqm.red engine ~rate_bps:12_000.0 ~params ~next () in
+  flood (Utc_elements.Aqm.node red).Utc_elements.Node.push engine ~rate:0.5 ~n:100;
+  Engine.run engine;
+  Alcotest.(check int) "no drops" 0 (Utc_elements.Aqm.drops red)
+
+let codel_controls_sojourn () =
+  let engine = Engine.create ~seed:2 () in
+  let sojourns = ref [] in
+  let next =
+    Utc_elements.Node.of_fn (fun pkt ->
+        sojourns := (Engine.now engine -. pkt.Packet.sent_at) :: !sojourns)
+  in
+  let params = Utc_elements.Aqm.default_codel ~capacity_bits:1_200_000 in
+  let codel = Utc_elements.Aqm.codel engine ~rate_bps:120_000.0 ~params ~next () in
+  (* 1.5x overload for 60 s; packets stamped with their push time. *)
+  for i = 0 to 899 do
+    let at = float_of_int i /. 15.0 in
+    ignore
+      (Engine.schedule ~prio:1 engine ~at (fun () ->
+           (Utc_elements.Aqm.node codel).Utc_elements.Node.push
+             (Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:at ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "codel drops" true (Utc_elements.Aqm.drops codel > 0);
+  (* Late sojourns should be pulled down near the target, far below the
+     multi-second tail-drop delay the same load would build. *)
+  let late = List.filteri (fun i _ -> i < List.length !sojourns / 2) !sojourns in
+  let mean = List.fold_left ( +. ) 0.0 late /. float_of_int (List.length late) in
+  if mean > 1.0 then Alcotest.failf "codel mean sojourn too high: %g" mean
+
+(* --- Sched --- *)
+
+let priority_scheduling () =
+  let engine = Engine.create () in
+  let out = ref [] in
+  let next = Utc_elements.Node.of_fn (fun pkt -> out := (pkt.Packet.flow, pkt.Packet.seq) :: !out) in
+  let station =
+    Utc_elements.Sched.priority engine ~rate_bps:12_000.0 ~capacity_bits:240_000 ~next ()
+  in
+  ignore
+    (Engine.schedule engine ~at:0.0 (fun () ->
+         (* One cross packet grabs the server; then queue two of each. *)
+         let push flow seq =
+           (Utc_elements.Sched.node station).Utc_elements.Node.push
+             (Packet.make ~flow ~seq ~sent_at:0.0 ())
+         in
+         push Flow.Cross 0;
+         push Flow.Cross 1;
+         push Flow.Cross 2;
+         push Flow.Primary 0;
+         push Flow.Primary 1));
+  Engine.run engine;
+  Alcotest.(check bool) "primary preempts queue order" true
+    (List.rev !out
+    = [ (Flow.Cross, 0); (Flow.Primary, 0); (Flow.Primary, 1); (Flow.Cross, 1); (Flow.Cross, 2) ])
+
+let drr_fairness () =
+  let engine = Engine.create () in
+  let served = Hashtbl.create 4 in
+  let next =
+    Utc_elements.Node.of_fn (fun pkt ->
+        let flow = pkt.Packet.flow in
+        Hashtbl.replace served flow (1 + Option.value ~default:0 (Hashtbl.find_opt served flow)))
+  in
+  let station = Utc_elements.Sched.drr engine ~rate_bps:120_000.0 ~capacity_bits:10_000_000 ~next () in
+  ignore
+    (Engine.schedule engine ~at:0.0 (fun () ->
+         for seq = 0 to 199 do
+           (Utc_elements.Sched.node station).Utc_elements.Node.push
+             (Packet.make ~flow:Flow.Primary ~seq ~sent_at:0.0 ())
+         done;
+         for seq = 0 to 199 do
+           (Utc_elements.Sched.node station).Utc_elements.Node.push
+             (Packet.make ~flow:Flow.Cross ~seq ~sent_at:0.0 ())
+         done));
+  (* Serve for half the total service time, then compare shares. *)
+  Engine.run ~until:20.0 engine;
+  let primary = Option.value ~default:0 (Hashtbl.find_opt served Flow.Primary) in
+  let cross = Option.value ~default:0 (Hashtbl.find_opt served Flow.Cross) in
+  Alcotest.(check bool) "both served" true (primary > 50 && cross > 50);
+  if abs (primary - cross) > 2 then Alcotest.failf "unfair: %d vs %d" primary cross
+
+(* --- ARQ --- *)
+
+let arq_hides_loss () =
+  let engine = Engine.create ~seed:3 () in
+  let delivered = ref 0 in
+  let next = Utc_elements.Node.of_fn (fun _ -> incr delivered) in
+  let arq = Utc_elements.Arq.create engine ~rate_bps:12_000.0 ~try_loss:0.4 ~next () in
+  for i = 0 to 199 do
+    ignore
+      (Engine.schedule ~prio:1 engine ~at:(float_of_int i *. 2.0) (fun () ->
+           (Utc_elements.Arq.node arq).Utc_elements.Node.push
+             (Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:0.0 ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered despite 40% radio loss" 200 !delivered;
+  (* Mean tries = 1/(1-0.4) = 1.67. *)
+  let per = float_of_int (Utc_elements.Arq.transmissions arq) /. 200.0 in
+  if Float.abs (per -. 1.0 /. 0.6) > 0.15 then Alcotest.failf "tries per packet off: %g" per
+
+let arq_zero_loss_is_station () =
+  let engine = Engine.create () in
+  let out = ref [] in
+  let next = Utc_elements.Node.of_fn (fun pkt -> out := (Engine.now engine, pkt.Packet.seq) :: !out) in
+  let arq = Utc_elements.Arq.create engine ~rate_bps:12_000.0 ~try_loss:0.0 ~next () in
+  ignore
+    (Engine.schedule engine ~at:0.0 (fun () ->
+         (Utc_elements.Arq.node arq).Utc_elements.Node.push
+           (Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:0.0 ())));
+  Engine.run engine;
+  Alcotest.(check bool) "plain service time" true (List.rev !out = [ (1.0, 0) ])
+
+let arq_abandons_after_max_tries () =
+  let engine = Engine.create ~seed:3 () in
+  let delivered = ref 0 in
+  let next = Utc_elements.Node.of_fn (fun _ -> incr delivered) in
+  let arq = Utc_elements.Arq.create engine ~rate_bps:12_000.0 ~try_loss:0.9 ~max_tries:2 ~next () in
+  for i = 0 to 499 do
+    ignore
+      (Engine.schedule ~prio:1 engine ~at:(float_of_int i *. 10.0) (fun () ->
+           (Utc_elements.Arq.node arq).Utc_elements.Node.push
+             (Packet.make ~flow:Flow.Primary ~seq:i ~sent_at:0.0 ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "conservation" 500 (!delivered + Utc_elements.Arq.drops arq);
+  (* P(success within 2 tries) = 1 - 0.9^2 = 0.19. *)
+  let rate = float_of_int !delivered /. 500.0 in
+  if Float.abs (rate -. 0.19) > 0.06 then Alcotest.failf "success rate off: %g" rate
+
+let node_helpers () =
+  let engine = Engine.create () in
+  let collector, collected = Utc_elements.Node.collector engine in
+  let seen = ref 0 in
+  let tapped = Utc_elements.Node.tap (fun _ -> incr seen) collector in
+  ignore
+    (Engine.schedule engine ~at:2.0 (fun () ->
+         tapped.Utc_elements.Node.push (Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:0.0 ())));
+  Engine.run engine;
+  Alcotest.(check int) "tap saw it" 1 !seen;
+  match collected () with
+  | [ (2.0, pkt) ] -> Alcotest.(check int) "collector stamped arrival" 0 pkt.Packet.seq
+  | _ -> Alcotest.fail "collector mismatch"
+
+let suite =
+  [
+    ("station service timing", `Quick, station_service_timing);
+    ("station tail drop", `Quick, station_tail_drop);
+    ("station occupancy excludes service", `Quick, station_in_service_excluded_from_occupancy);
+    ("delay", `Quick, delay_element);
+    ("loss rate", `Quick, loss_element_rate);
+    ("loss extremes", `Quick, loss_extremes);
+    ("jitter", `Quick, jitter_element);
+    ("squarewave gate", `Quick, squarewave_gate);
+    ("squarewave boundary", `Quick, squarewave_boundary);
+    ("intermittent statistics", `Quick, intermittent_statistics);
+    ("pinger cadence", `Quick, pinger_cadence);
+    ("diverter routes", `Quick, diverter_routes_by_flow);
+    ("either switches", `Quick, either_switches);
+    ("gate introspection", `Quick, gate_introspection);
+    ("queue introspection", `Quick, queue_introspection);
+    ("fifo server basic", `Quick, fifo_server_basic);
+    ("fifo server dequeue drop", `Quick, fifo_server_dequeue_drop);
+    ("red drops under load", `Quick, red_drops_under_load);
+    ("red light load", `Quick, red_no_drops_light_load);
+    ("codel controls sojourn", `Quick, codel_controls_sojourn);
+    ("priority scheduling", `Quick, priority_scheduling);
+    ("drr fairness", `Quick, drr_fairness);
+    ("arq hides loss", `Quick, arq_hides_loss);
+    ("arq zero loss", `Quick, arq_zero_loss_is_station);
+    ("arq abandons", `Quick, arq_abandons_after_max_tries);
+    ("node helpers", `Quick, node_helpers);
+  ]
+
+(* --- Multipath (S3.5 extension) --- *)
+
+let multipath_round_robin_alternates () =
+  let shared =
+    Topology.multipath ~first:(Topology.delay ~seconds:0.1)
+      ~second:(Topology.delay ~seconds:0.5) ()
+  in
+  let engine, runtime, deliveries, _ = build (net shared) in
+  for i = 0 to 3 do
+    send runtime engine ~at:(float_of_int i) ~seq:i ()
+  done;
+  Engine.run engine;
+  let times = List.map (fun (t, _, seq) -> (seq, t)) (deliveries ()) in
+  let sorted = List.sort compare times in
+  Alcotest.(check bool) "alternating delays" true
+    (sorted = [ (0, 0.1); (1, 1.5); (2, 2.1); (3, 3.5) ])
+
+let multipath_reorders_packets () =
+  (* Two sends 0.1 s apart; the first takes the slow path: delivery order
+     inverts. *)
+  let shared =
+    Topology.multipath ~first:(Topology.delay ~seconds:1.0)
+      ~second:(Topology.series []) ()
+  in
+  let engine, runtime, deliveries, _ = build (net shared) in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  send runtime engine ~at:0.1 ~seq:1 ();
+  Engine.run engine;
+  let seqs = List.map (fun (_, _, seq) -> seq) (deliveries ()) in
+  Alcotest.(check (list int)) "reordered" [ 1; 0 ] seqs
+
+let multipath_random_split () =
+  let shared =
+    Topology.multipath ~policy:(`Random 0.25) ~first:(Topology.delay ~seconds:10.0)
+      ~second:(Topology.series []) ()
+  in
+  let engine, runtime, deliveries, _ = build (net shared) ~seed:14 in
+  let n = 8_000 in
+  for i = 0 to n - 1 do
+    send runtime engine ~at:(0.001 *. float_of_int i) ~seq:i ()
+  done;
+  Engine.run engine;
+  let slow = List.length (List.filter (fun (t, _, seq) -> t > (0.001 *. float_of_int seq) +. 5.0) (deliveries ())) in
+  Alcotest.(check int) "all delivered" n (List.length (deliveries ()));
+  let fraction = float_of_int slow /. float_of_int n in
+  if Float.abs (fraction -. 0.25) > 0.02 then Alcotest.failf "split off: %g" fraction
+
+let multipath_validation () =
+  let bad = net (Topology.multipath ~policy:(`Random 1.5) ~first:Topology.Deliver ~second:Topology.Deliver ()) in
+  match Topology.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "probability 1.5 accepted"
+
+let multipath_suite =
+  [
+    ("multipath round robin", `Quick, multipath_round_robin_alternates);
+    ("multipath reorders", `Quick, multipath_reorders_packets);
+    ("multipath random split", `Quick, multipath_random_split);
+    ("multipath validation", `Quick, multipath_validation);
+  ]
+
+let suite = suite @ multipath_suite

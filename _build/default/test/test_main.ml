@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "uncertain-tc"
+    [
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("elements", Test_elements.suite);
+      ("model", Test_model.suite);
+      ("agreement", Test_agreement.suite);
+      ("inference", Test_inference.suite);
+      ("utility", Test_utility.suite);
+      ("core", Test_core.suite);
+      ("tcp", Test_tcp.suite);
+      ("stats", Test_stats.suite);
+      ("experiments", Test_experiments.suite);
+      ("pomdp", Test_pomdp.suite);
+    ]

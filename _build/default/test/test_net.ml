@@ -1,0 +1,231 @@
+(* Tests for the network-element language: flows, packets, the topology
+   AST, validation, normalization, and compilation. *)
+open Utc_net
+
+let flow_identity () =
+  Alcotest.(check bool) "primary eq" true (Flow.equal Flow.Primary Flow.Primary);
+  Alcotest.(check bool) "aux eq" true (Flow.equal (Flow.Aux 2) (Flow.Aux 2));
+  Alcotest.(check bool) "aux neq" false (Flow.equal (Flow.Aux 1) (Flow.Aux 2));
+  Alcotest.(check bool) "cross neq primary" false (Flow.equal Flow.Cross Flow.Primary);
+  Alcotest.(check int) "compare orders" (-1)
+    (compare (Flow.compare Flow.Primary Flow.Cross) 0);
+  Alcotest.(check string) "to_string" "aux3" (Flow.to_string (Flow.Aux 3))
+
+let packet_basics () =
+  let pkt = Packet.make ~flow:Flow.Primary ~seq:5 ~sent_at:1.25 () in
+  Alcotest.(check int) "default size" 12_000 pkt.Packet.bits;
+  Alcotest.(check int) "default_bits constant" 12_000 Packet.default_bits;
+  let custom = Packet.make ~bits:800 ~flow:Flow.Cross ~seq:0 ~sent_at:0.0 () in
+  Alcotest.(check int) "custom size" 800 custom.Packet.bits;
+  Alcotest.(check bool) "equal self" true (Packet.equal pkt pkt);
+  Alcotest.(check bool) "not equal" false (Packet.equal pkt custom);
+  Alcotest.(check bool) "ordered by flow then seq" true (Packet.compare pkt custom < 0)
+
+let evprio_order () =
+  Alcotest.(check bool) "gate first" true (Evprio.gate_toggle < Evprio.service_complete);
+  Alcotest.(check bool) "complete before arrivals" true
+    (Evprio.service_complete < Evprio.arrival Flow.Primary);
+  Alcotest.(check bool) "primary before cross" true
+    (Evprio.arrival Flow.Primary < Evprio.arrival Flow.Cross);
+  Alcotest.(check bool) "cross before aux" true
+    (Evprio.arrival Flow.Cross < Evprio.arrival (Flow.Aux 0));
+  Alcotest.(check bool) "wakeup last" true
+    (Evprio.arrival (Flow.Aux 5) < Evprio.endpoint_wakeup)
+
+(* --- validation --- *)
+
+let net shared = { Topology.sources = [ Topology.endpoint Flow.Primary ]; shared }
+
+let expect_invalid name t =
+  match Topology.validate t with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s should be invalid" name
+
+let validation_rejects_bad_parameters () =
+  expect_invalid "zero buffer" (net (Topology.buffer ~capacity_bits:0));
+  expect_invalid "negative rate" (net (Topology.throughput ~rate_bps:(-1.0)));
+  expect_invalid "loss above 1" (net (Topology.loss ~rate:1.5));
+  expect_invalid "loss below 0" (net (Topology.loss ~rate:(-0.1)));
+  expect_invalid "negative delay" (net (Topology.delay ~seconds:(-2.0)));
+  expect_invalid "bad jitter prob" (net (Topology.jitter ~seconds:0.1 ~probability:2.0));
+  expect_invalid "zero mtts" (net (Topology.intermittent ~mean_time_to_switch:0.0 ()));
+  expect_invalid "zero interval" (net (Topology.squarewave ~interval:0.0 ()));
+  expect_invalid "no sources" { Topology.sources = []; shared = Topology.Deliver };
+  expect_invalid "zero pinger rate"
+    {
+      Topology.sources = [ Topology.pinger ~flow:Flow.Cross ~rate_pps:0.0 () ];
+      shared = Topology.Deliver;
+    };
+  expect_invalid "duplicate flows"
+    {
+      Topology.sources = [ Topology.endpoint Flow.Primary; Topology.endpoint Flow.Primary ];
+      shared = Topology.Deliver;
+    };
+  expect_invalid "duplicate diverter route"
+    (net
+       (Topology.Diverter
+          {
+            routes = [ (Flow.Cross, Topology.Deliver); (Flow.Cross, Topology.Deliver) ];
+            otherwise = Topology.Deliver;
+          }))
+
+let validation_accepts_figure2 () =
+  let t =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.2 ~pinger_pps:0.7
+      ~cross_gate:(Topology.intermittent ~mean_time_to_switch:100.0 ())
+  in
+  match Topology.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "figure2 invalid: %s" msg
+
+(* --- normalization --- *)
+
+let normalized shared = (Topology.normalize (net shared)).Topology.shared
+
+let normalize_fuses_buffer_throughput () =
+  let shared =
+    Topology.series [ Topology.buffer ~capacity_bits:96_000; Topology.throughput ~rate_bps:12_000.0 ]
+  in
+  match normalized shared with
+  | Topology.Station { capacity_bits = Some 96_000; rate_bps } ->
+    Alcotest.(check (float 0.0)) "rate kept" 12_000.0 rate_bps
+  | other -> Alcotest.failf "expected fused station, got %a" Topology.pp_element other
+
+let normalize_bare_throughput () =
+  match normalized (Topology.throughput ~rate_bps:5_000.0) with
+  | Topology.Station { capacity_bits = None; _ } -> ()
+  | other -> Alcotest.failf "expected unbounded station, got %a" Topology.pp_element other
+
+let normalize_drops_bare_buffer () =
+  match normalized (Topology.series [ Topology.buffer ~capacity_bits:1000; Topology.delay ~seconds:0.1 ]) with
+  | Topology.Delay _ -> ()
+  | other -> Alcotest.failf "expected buffer to vanish, got %a" Topology.pp_element other
+
+let normalize_flattens_nested_series () =
+  let shared =
+    Topology.series
+      [
+        Topology.series [ Topology.delay ~seconds:0.1 ];
+        Topology.series
+          [ Topology.buffer ~capacity_bits:1000; Topology.throughput ~rate_bps:100.0 ];
+      ]
+  in
+  match normalized shared with
+  | Topology.Series [ Topology.Delay _; Topology.Station { capacity_bits = Some 1000; _ } ] -> ()
+  | other -> Alcotest.failf "unexpected: %a" Topology.pp_element other
+
+let normalize_inside_diverter_and_either () =
+  let shared =
+    Topology.Diverter
+      {
+        routes = [ (Flow.Cross, Topology.throughput ~rate_bps:10.0) ];
+        otherwise =
+          Topology.Either
+            {
+              first = Topology.series [ Topology.buffer ~capacity_bits:10; Topology.throughput ~rate_bps:1.0 ];
+              second = Topology.Deliver;
+              mean_time_to_switch = 5.0;
+              initially_first = true;
+            };
+      }
+  in
+  match normalized shared with
+  | Topology.Diverter
+      {
+        routes = [ (_, Topology.Station { capacity_bits = None; _ }) ];
+        otherwise = Topology.Either { first = Topology.Station { capacity_bits = Some 10; _ }; _ };
+      } ->
+    ()
+  | other -> Alcotest.failf "unexpected: %a" Topology.pp_element other
+
+let normalize_idempotent () =
+  let t =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.2 ~pinger_pps:0.7
+      ~cross_gate:(Topology.squarewave ~interval:100.0 ())
+  in
+  let once = Topology.normalize t in
+  let twice = Topology.normalize once in
+  Alcotest.(check bool) "idempotent" true (once = twice)
+
+(* --- compilation --- *)
+
+let compile_figure2 () =
+  let t =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.2 ~pinger_pps:0.7
+      ~cross_gate:(Topology.squarewave ~interval:100.0 ())
+  in
+  let compiled = Compiled.compile_exn t in
+  Alcotest.(check int) "station+loss+gate" 3 (Compiled.node_count compiled);
+  Alcotest.(check int) "one station" 1 (List.length (Compiled.station_ids compiled));
+  let () =
+    match Compiled.entry compiled Flow.Primary with
+    | Compiled.To _ -> ()
+    | Compiled.Deliver -> Alcotest.fail "primary entry should hit the station"
+  in
+  Alcotest.(check int) "one pinger" 1 (List.length compiled.Compiled.pingers)
+
+let compile_rejects_invalid () =
+  match Compiled.compile (net (Topology.loss ~rate:2.0)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected compile error"
+
+let compile_empty_series_is_wire () =
+  let compiled = Compiled.compile_exn (net (Topology.series [])) in
+  Alcotest.(check int) "no nodes" 0 (Compiled.node_count compiled);
+  match Compiled.entry compiled Flow.Primary with
+  | Compiled.Deliver -> ()
+  | Compiled.To _ -> Alcotest.fail "wire should deliver directly"
+
+let compile_entry_missing () =
+  let compiled = Compiled.compile_exn (net (Topology.series [])) in
+  Alcotest.check_raises "no cross endpoint" Not_found (fun () ->
+      ignore (Compiled.entry compiled Flow.Cross))
+
+let compile_diverter_links () =
+  let shared =
+    Topology.Diverter
+      {
+        routes = [ (Flow.Cross, Topology.delay ~seconds:1.0) ];
+        otherwise = Topology.Deliver;
+      }
+  in
+  let compiled = Compiled.compile_exn (net shared) in
+  Alcotest.(check int) "divert + delay" 2 (Compiled.node_count compiled)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let topology_pp_smoke () =
+  let t =
+    Topology.figure2 ~link_bps:12_000.0 ~buffer_bits:96_000 ~loss_rate:0.2 ~pinger_pps:0.7
+      ~cross_gate:(Topology.intermittent ~mean_time_to_switch:100.0 ())
+  in
+  let text = Format.asprintf "%a" Topology.pp t in
+  Alcotest.(check bool) "mentions pinger" true (contains text "Pinger");
+  Alcotest.(check bool) "mentions intermittent" true (contains text "Intermittent");
+  let compiled = Compiled.compile_exn t in
+  let text = Format.asprintf "%a" Compiled.pp compiled in
+  Alcotest.(check bool) "mentions station" true (contains text "Station")
+
+let suite =
+  [
+    ("flow identity", `Quick, flow_identity);
+    ("packet basics", `Quick, packet_basics);
+    ("evprio order", `Quick, evprio_order);
+    ("validation rejects bad parameters", `Quick, validation_rejects_bad_parameters);
+    ("validation accepts figure2", `Quick, validation_accepts_figure2);
+    ("normalize fuses buffer+throughput", `Quick, normalize_fuses_buffer_throughput);
+    ("normalize bare throughput", `Quick, normalize_bare_throughput);
+    ("normalize drops bare buffer", `Quick, normalize_drops_bare_buffer);
+    ("normalize flattens series", `Quick, normalize_flattens_nested_series);
+    ("normalize inside diverter/either", `Quick, normalize_inside_diverter_and_either);
+    ("normalize idempotent", `Quick, normalize_idempotent);
+    ("compile figure2", `Quick, compile_figure2);
+    ("compile rejects invalid", `Quick, compile_rejects_invalid);
+    ("compile empty series", `Quick, compile_empty_series_is_wire);
+    ("compile entry missing", `Quick, compile_entry_missing);
+    ("compile diverter", `Quick, compile_diverter_links);
+    ("pp smoke", `Quick, topology_pp_smoke);
+  ]

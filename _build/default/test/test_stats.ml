@@ -1,0 +1,161 @@
+(* Tests for summaries, fairness metrics, and the ASCII plotter. *)
+module Summary = Utc_stats.Summary
+module Fairness = Utc_stats.Fairness
+module Ascii_plot = Utc_stats.Ascii_plot
+
+let summary_of_known_list () =
+  match Summary.of_list [ 1.0; 2.0; 3.0; 4.0; 5.0 ] with
+  | None -> Alcotest.fail "no summary"
+  | Some s ->
+    Alcotest.(check int) "count" 5 s.Summary.count;
+    Alcotest.(check (float 1e-9)) "mean" 3.0 s.Summary.mean;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Summary.min;
+    Alcotest.(check (float 1e-9)) "max" 5.0 s.Summary.max;
+    Alcotest.(check (float 1e-9)) "p50" 3.0 s.Summary.p50;
+    Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.0) s.Summary.stddev
+
+let summary_empty () = Alcotest.(check bool) "none" true (Summary.of_list [] = None)
+
+let percentile_nearest_rank () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  Alcotest.(check (float 1e-9)) "p25" 10.0 (Summary.percentile xs ~q:0.25);
+  Alcotest.(check (float 1e-9)) "p50" 20.0 (Summary.percentile xs ~q:0.5);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Summary.percentile xs ~q:1.0);
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Summary.percentile xs ~q:0.0)
+
+let percentile_bounds_prop =
+  QCheck.Test.make ~name:"percentile lies within min..max" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.0)) (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let p = Summary.percentile xs ~q in
+      p >= List.fold_left Float.min infinity xs && p <= List.fold_left Float.max neg_infinity xs)
+
+let jain_known_values () =
+  Alcotest.(check (float 1e-9)) "equal" 1.0 (Fairness.jain [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-9)) "one hog" (1.0 /. 3.0) (Fairness.jain [ 9.0; 0.0; 0.0 ]);
+  Alcotest.(check (float 1e-9)) "zero total" 0.0 (Fairness.jain [ 0.0; 0.0 ])
+
+let jain_range_prop =
+  QCheck.Test.make ~name:"jain index in [1/n, 1] for positive allocations" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 10) (float_range 0.1 100.0))
+    (fun xs ->
+      let j = Fairness.jain xs in
+      let n = float_of_int (List.length xs) in
+      j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let max_min_ratio_cases () =
+  Alcotest.(check (float 1e-9)) "equal" 1.0 (Fairness.max_min_ratio [ 2.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Fairness.max_min_ratio [ 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "zero max" 0.0 (Fairness.max_min_ratio [ 0.0; 0.0 ])
+
+let plot_contains_markers () =
+  let text =
+    Ascii_plot.render ~width:40 ~height:10
+      [
+        { Ascii_plot.label = "up"; points = List.init 20 (fun i -> (float_of_int i, float_of_int i)) };
+        { Ascii_plot.label = "down"; points = List.init 20 (fun i -> (float_of_int i, float_of_int (20 - i))) };
+      ]
+  in
+  Alcotest.(check bool) "first marker" true (String.contains text '*');
+  Alcotest.(check bool) "second marker" true (String.contains text '+');
+  Alcotest.(check bool) "legend" true (String.length text > 100)
+
+let plot_empty_series () =
+  Alcotest.(check string) "no data note" "(no data)\n" (Ascii_plot.render []);
+  Alcotest.(check string) "empty points skipped" "(no data)\n"
+    (Ascii_plot.render [ { Ascii_plot.label = "x"; points = [] } ])
+
+let plot_log_scale () =
+  let text =
+    Ascii_plot.render_one ~width:30 ~height:8 ~log_y:true ~label:"rtt"
+      [ (0.0, 0.1); (1.0, 1.0); (2.0, 10.0) ]
+  in
+  Alcotest.(check bool) "renders" true (String.length text > 50)
+
+let plot_single_point () =
+  let text = Ascii_plot.render_one ~label:"p" [ (1.0, 1.0) ] in
+  Alcotest.(check bool) "degenerate spans ok" true (String.length text > 10)
+
+let suite =
+  [
+    ("summary known list", `Quick, summary_of_known_list);
+    ("summary empty", `Quick, summary_empty);
+    ("percentile nearest rank", `Quick, percentile_nearest_rank);
+    QCheck_alcotest.to_alcotest percentile_bounds_prop;
+    ("jain known values", `Quick, jain_known_values);
+    QCheck_alcotest.to_alcotest jain_range_prop;
+    ("max-min ratio", `Quick, max_min_ratio_cases);
+    ("plot markers", `Quick, plot_contains_markers);
+    ("plot empty", `Quick, plot_empty_series);
+    ("plot log scale", `Quick, plot_log_scale);
+    ("plot single point", `Quick, plot_single_point);
+  ]
+
+(* --- Dataio --- *)
+
+module Dataio = Utc_stats.Dataio
+
+let dataio_series_roundtrip () =
+  Dataio.with_temp ~prefix:"utc_series" (fun path ->
+      let written =
+        [
+          { Dataio.label = "alpha=1"; points = [ (0.0, 1.0); (1.5, 2.25) ] };
+          { Dataio.label = "alpha=5"; points = [ (0.0, 0.5) ] };
+        ]
+      in
+      Dataio.write_series ~path written;
+      match Dataio.read_series ~path with
+      | Ok loaded -> Alcotest.(check bool) "roundtrip" true (loaded = written)
+      | Error msg -> Alcotest.failf "read failed: %s" msg)
+
+let dataio_series_plain_two_column () =
+  Dataio.with_temp ~prefix:"utc_plain" (fun path ->
+      let oc = open_out path in
+      output_string oc "1.0 2.0\n3.0 4.0\n";
+      close_out oc;
+      match Dataio.read_series ~path with
+      | Ok [ { Dataio.label = ""; points = [ (1.0, 2.0); (3.0, 4.0) ] } ] -> ()
+      | Ok _ -> Alcotest.fail "unexpected shape"
+      | Error msg -> Alcotest.failf "read failed: %s" msg)
+
+let dataio_series_bad_row () =
+  Dataio.with_temp ~prefix:"utc_bad" (fun path ->
+      let oc = open_out path in
+      output_string oc "1.0 banana\n";
+      close_out oc;
+      match Dataio.read_series ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted garbage")
+
+let dataio_csv_roundtrip () =
+  Dataio.with_temp ~prefix:"utc_csv" (fun path ->
+      let header = [ "alpha"; "rate" ] in
+      let rows = [ [ 0.9; 0.35 ]; [ 1.0; 0.3 ] ] in
+      Dataio.write_csv ~path ~header rows;
+      match Dataio.read_csv ~path with
+      | Ok (h, r) ->
+        Alcotest.(check (list string)) "header" header h;
+        Alcotest.(check bool) "rows" true (r = rows)
+      | Error msg -> Alcotest.failf "read failed: %s" msg)
+
+let dataio_csv_ragged_rejected () =
+  Dataio.with_temp ~prefix:"utc_ragged" (fun path ->
+      Alcotest.check_raises "ragged" (Invalid_argument "Dataio.write_csv: ragged row") (fun () ->
+          Dataio.write_csv ~path ~header:[ "a"; "b" ] [ [ 1.0 ] ]))
+
+let dataio_missing_file () =
+  match Dataio.read_series ~path:"/nonexistent/utc.dat" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read a ghost"
+
+let dataio_suite =
+  [
+    ("dataio series roundtrip", `Quick, dataio_series_roundtrip);
+    ("dataio plain two-column", `Quick, dataio_series_plain_two_column);
+    ("dataio bad row", `Quick, dataio_series_bad_row);
+    ("dataio csv roundtrip", `Quick, dataio_csv_roundtrip);
+    ("dataio csv ragged", `Quick, dataio_csv_ragged_rejected);
+    ("dataio missing file", `Quick, dataio_missing_file);
+  ]
+
+let suite = suite @ dataio_suite
