@@ -249,7 +249,7 @@ let run_kernels () =
   in
   List.iter
     (fun (name, ns) -> Format.printf "%-28s %16s@." name (humanize ns))
-    (List.sort compare !rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
 
 let () =
   let args = Array.to_list Sys.argv in

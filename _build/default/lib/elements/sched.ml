@@ -80,6 +80,7 @@ let priority engine ~rate_bps ~capacity_bits ?(class_of = default_class) ?(on_dr
         | Some _ | None -> best := Some (rank, q)
       end
     in
+    (* lint:allow R4 -- min over unique ranks (keys); order-independent *)
     Hashtbl.iter consider queues;
     match !best with
     | None -> None

@@ -1,1 +1,1 @@
-lib/experiments/families.ml: Compiled Flow Format List Topology Unix Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim
+lib/experiments/families.ml: Compiled Flow Format List Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim

@@ -1,1 +1,1 @@
-lib/experiments/harness.ml: Compiled Flow List Packet Topology Unix Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim Utc_utility
+lib/experiments/harness.ml: Compiled Flow List Packet Topology Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_sim Utc_utility

@@ -1,1 +1,1 @@
-lib/experiments/policy_bridge.ml: Compiled Flow Format Harness List Packet Unix Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_pomdp Utc_sim Utc_utility
+lib/experiments/policy_bridge.ml: Compiled Flow Format Harness List Packet Utc_core Utc_elements Utc_inference Utc_model Utc_net Utc_pomdp Utc_sim Utc_utility

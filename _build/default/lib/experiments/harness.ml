@@ -71,7 +71,7 @@ let truth_cell (p : Priors.fig2_params) =
   (p.link_bps, p.pinger_pps, p.loss_rate, p.buffer_bits)
 
 let run config =
-  let wall_start = Unix.gettimeofday () in
+  let wall_start = Utc_sim.Wallclock.now () in
   let forward_config =
     {
       Utc_model.Forward.default_config with
@@ -156,7 +156,7 @@ let run config =
     samples = List.rev !samples;
     final_posterior = Belief.posterior (Utc_core.Isender.belief isender);
     rejected_updates = Utc_core.Isender.rejected_updates isender;
-    wall_seconds = Unix.gettimeofday () -. wall_start;
+    wall_seconds = Utc_sim.Wallclock.elapsed_since wall_start;
   }
 
 let throughput result ~flow ~since ~until =

@@ -1,0 +1,18 @@
+(** Wall-clock time, quarantined.
+
+    Simulated time is {!Timebase}; nothing inside the simulator may observe
+    the host clock, or runs stop being pure functions of their seed. The
+    one legitimate use of wall time is measuring how long an experiment or
+    benchmark took to execute, and this module is its single auditable
+    entry point — the determinism linter (rule R2) forbids
+    [Unix.gettimeofday]/[Unix.time]/[Sys.time] everywhere else in [lib/].
+
+    Never feed these values into packet timestamps, event scheduling, RNG
+    seeding, or anything else a simulation result depends on. *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, for elapsed-time measurement only. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since start] is [now () -. start]: wall seconds spent since a
+    previous {!now}. *)

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Int List Pheap QCheck QCheck_alcotest Utc_lint Utc_sim

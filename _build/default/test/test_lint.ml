@@ -1,0 +1,201 @@
+(* Tests for the determinism linter (tools/lint): scanner blanking, each
+   rule on positive/negative fixtures, allowlist and inline suppressions,
+   and the event-queue invariant the compare/hash rules exist to protect. *)
+
+module L = Utc_lint
+open Utc_sim
+
+let run ?(allowlist = L.Allowlist.empty) files =
+  L.Engine.run_sources ~allowlist
+    (List.map (fun (path, contents) -> L.Source.of_string ~path contents) files)
+
+let rules_of diags = List.map (fun (d : L.Diagnostic.t) -> d.L.Diagnostic.rule) diags
+
+let check_rules name expected ?allowlist files =
+  Alcotest.(check (list string)) name expected (rules_of (run ?allowlist files))
+
+(* --- scanner: comments, strings and char literals are invisible --- *)
+
+let scanner_blanks_noncode () =
+  check_rules "comment and string occurrences don't count" []
+    [
+      ( "bin/x.ml",
+        "let x = \"Random.int says Unix.gettimeofday\"\n\
+         (* Random.self_init (); Stdlib.compare *)\n\
+         let quote = '\"'\n\
+         let y = \"escaped \\\" Random.int\"\n" );
+    ];
+  check_rules "nested comments stay comments" []
+    [ ("bin/x.ml", "(* outer (* Random.int 3 *) still comment *)\nlet x = 1\n") ];
+  check_rules "code after a string is still scanned" [ "R1" ]
+    [ ("bin/x.ml", "let x = \"decoy\" ^ string_of_int (Random.int 3)\n") ]
+
+let scanner_quoted_string () =
+  check_rules "quoted {|...|} strings are blanked" []
+    [ ("bin/x.ml", "let x = {|Random.int|} ^ {q|Unix.gettimeofday|q}\n") ]
+
+(* --- R1 no-ambient-randomness --- *)
+
+let r1_detects () =
+  check_rules "bare Random module use" [ "R1" ] [ ("bin/x.ml", "let x = Random.int 3\n") ];
+  check_rules "Stdlib-qualified" [ "R1" ] [ ("bin/x.ml", "let () = Stdlib.Random.self_init ()\n") ];
+  check_rules "identifier containing Random is fine" []
+    [ ("bin/x.ml", "let pseudo_Random = 1\nlet r = My_random.draw\n") ];
+  check_rules "our Rng is fine" [] [ ("bin/x.ml", "let x = Utc_sim.Rng.float rng\n") ]
+
+let r1_allowlist () =
+  let files = [ ("lib/sim/rng.ml", "let x = Random.bits ()\n"); ("lib/sim/rng.mli", "") ] in
+  check_rules "rng.ml flagged without allowlist" [ "R1" ] files;
+  check_rules "rng.ml allowlisted" [] ~allowlist:(L.Allowlist.of_string "R1 lib/sim/rng.ml\n")
+    files
+
+(* --- R2 no-wall-clock --- *)
+
+let r2_detects () =
+  let body = "let t = Unix.gettimeofday ()\nlet u = Sys.time ()\nlet v = Unix.time ()\n" in
+  check_rules "three wall-clock reads in lib/" [ "R2"; "R2"; "R2" ]
+    [ ("lib/model/clock.ml", body); ("lib/model/clock.mli", "") ];
+  check_rules "bench may read the wall clock" [] [ ("bench/x.ml", body) ];
+  check_rules "Unix.timeofday-like identifiers unaffected" []
+    [ ("lib/model/clock.ml", "let t = Unix.timer ()\n"); ("lib/model/clock.mli", "") ]
+
+let r2_wallclock_shim_allowed () =
+  let files =
+    [ ("lib/sim/wallclock.ml", "let now () = Unix.gettimeofday ()\n"); ("lib/sim/wallclock.mli", "") ]
+  in
+  check_rules "shim flagged without allowlist" [ "R2" ] files;
+  check_rules "shim allowlisted" []
+    ~allowlist:(L.Allowlist.of_string "R2 lib/sim/wallclock.ml\n")
+    files
+
+(* --- R3 no-polymorphic-compare --- *)
+
+let r3_detects () =
+  check_rules "List.sort compare" [ "R3" ] [ ("bin/x.ml", "let xs = List.sort compare xs\n") ];
+  check_rules "across a line break" [ "R3" ]
+    [ ("bin/x.ml", "let xs =\n  List.sort\n    compare xs\n") ];
+  check_rules "Array.stable_sort compare" [ "R3" ]
+    [ ("bin/x.ml", "let () = Array.stable_sort compare a\n") ];
+  check_rules "Stdlib.compare anywhere" [ "R3" ]
+    [ ("bin/x.ml", "let c = Stdlib.compare a b\n") ]
+
+let r3_negatives () =
+  check_rules "explicit comparator" []
+    [ ("bin/x.ml", "let xs = List.sort Float.compare xs\nlet ys = List.sort Timebase.compare ys\n") ];
+  check_rules "custom function mentioning compare" []
+    [ ("bin/x.ml", "let xs = List.sort compare_names xs\n") ];
+  check_rules "lambda comparator" []
+    [ ("bin/x.ml", "let xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs\n") ]
+
+(* --- R4 no-hash-order-dependence --- *)
+
+let r4_detects () =
+  check_rules "iter with no sort in window" [ "R4" ]
+    [ ("bin/x.ml", "let () = Hashtbl.iter emit tbl\n") ];
+  check_rules "fold feeding sorted output passes" []
+    [ ("bin/x.ml", "let xs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\nlet xs = List.sort cmp xs\n") ];
+  check_rules "Hashtbl.hash tie-break" [ "R4" ]
+    [ ("bin/x.ml", "let tie = Hashtbl.hash pkt\n") ]
+
+let r4_suppression () =
+  check_rules "trailing same-line suppression" []
+    [ ("bin/x.ml", "let () = Hashtbl.iter consider tbl (* lint:allow R4 -- min of unique keys *)\n") ];
+  check_rules "suppression on the preceding line" []
+    [ ("bin/x.ml", "(* lint:allow R4 -- order-independent reduction *)\nlet () = Hashtbl.iter consider tbl\n") ];
+  check_rules "suppressing R4 does not hide other rules" [ "R1" ]
+    [ ("bin/x.ml", "(* lint:allow R4 *)\nlet () = Hashtbl.iter f tbl; Random.self_init ()\n") ];
+  check_rules "stale suppression two lines up has no effect" [ "R4" ]
+    [ ("bin/x.ml", "(* lint:allow R4 *)\nlet a = 1\nlet () = Hashtbl.iter f tbl\n") ]
+
+(* --- R5 mli-coverage --- *)
+
+let r5_detects () =
+  check_rules "lib module without interface" [ "R5" ] [ ("lib/net/orphan.ml", "let x = 1\n") ];
+  check_rules "interface present" []
+    [ ("lib/net/ok.ml", "let x = 1\n"); ("lib/net/ok.mli", "val x : int\n") ];
+  check_rules "bin and examples are exempt" []
+    [ ("bin/tool.ml", "let x = 1\n"); ("examples/demo.ml", "let x = 1\n") ]
+
+(* --- R6 no-stdout-in-lib --- *)
+
+let r6_detects () =
+  check_rules "print_endline in lib" [ "R6" ]
+    [ ("lib/stats/noisy.ml", "let () = print_endline \"hi\"\n"); ("lib/stats/noisy.mli", "") ];
+  check_rules "Format.printf in lib" [ "R6" ]
+    [ ("lib/stats/noisy.ml", "let () = Format.printf \"%d\" 1\n"); ("lib/stats/noisy.mli", "") ];
+  check_rules "formatter-passing pp functions are fine" []
+    [ ("lib/stats/quiet.ml", "let pp ppf = Format.pp_print_string ppf \"ok\"\n"); ("lib/stats/quiet.mli", "") ];
+  check_rules "binaries may print" [] [ ("bin/x.ml", "let () = print_endline \"hi\"\n") ];
+  check_rules "ascii_plot allowlisted" []
+    ~allowlist:(L.Allowlist.of_string "R6 lib/stats/ascii_plot.ml\n")
+    [ ("lib/stats/ascii_plot.ml", "let () = print_endline \"plot\"\n"); ("lib/stats/ascii_plot.mli", "") ]
+
+(* --- allowlist semantics --- *)
+
+let allowlist_semantics () =
+  let files = [ ("lib/experiments/h.ml", "let t = Sys.time ()\n"); ("lib/experiments/h.mli", "") ] in
+  check_rules "directory-prefix entry" []
+    ~allowlist:(L.Allowlist.of_string "R2 lib/experiments/\n")
+    files;
+  check_rules "prefix entry for another rule does not leak" [ "R2" ]
+    ~allowlist:(L.Allowlist.of_string "R6 lib/experiments/\n")
+    files;
+  check_rules "star rule allows everything" []
+    ~allowlist:(L.Allowlist.of_string "* lib/experiments/h.ml\n")
+    files;
+  Alcotest.(check int) "comments and blanks ignored" 2
+    (L.Allowlist.size (L.Allowlist.of_string "# header\n\nR1 a.ml\nR2 b.ml # trailing\n"));
+  Alcotest.check_raises "malformed entry rejected"
+    (Failure "allowlist: line 1: expected '<rule> <path>'") (fun () ->
+      ignore (L.Allowlist.of_string "R1only\n"))
+
+(* --- diagnostics --- *)
+
+let diagnostic_format () =
+  let d = L.Diagnostic.make ~path:"lib/a.ml" ~line:3 ~rule:"R2" ~message:"no wall clock" in
+  Alcotest.(check string) "file:line: rule message" "lib/a.ml:3: R2 no wall clock"
+    (L.Diagnostic.to_string d);
+  match run [ ("lib/z.ml", "let t = Sys.time ()\nlet u = Sys.time ()\n"); ("lib/z.mli", "") ] with
+  | [ a; b ] ->
+    Alcotest.(check int) "line of first" 1 a.L.Diagnostic.line;
+    Alcotest.(check int) "line of second" 2 b.L.Diagnostic.line
+  | ds -> Alcotest.failf "expected 2 diagnostics, got %d" (List.length ds)
+
+(* --- the invariant R3/R4 protect: deterministic event ordering --- *)
+
+(* Equal-time events with distinct priority classes must pop in priority
+   order no matter the order they were inserted in: scheduling order may
+   never depend on hash order, structural compare, or insertion history. *)
+let pheap_permutation_prop =
+  QCheck.Test.make
+    ~name:"pheap pop order of equal-time events is insertion-order invariant" ~count:300
+    QCheck.(list small_int)
+    (fun raw ->
+      let prios =
+        List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc) [] raw
+      in
+      let h = Pheap.create () in
+      List.iter (fun p -> Pheap.add ~prio:p h ~time:1.0 p) prios;
+      let rec drain acc =
+        match Pheap.pop h with Some (_, p) -> drain (p :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort Int.compare prios)
+
+let suite =
+  [
+    ("scanner blanks non-code", `Quick, scanner_blanks_noncode);
+    ("scanner quoted strings", `Quick, scanner_quoted_string);
+    ("R1 detects ambient randomness", `Quick, r1_detects);
+    ("R1 allowlist", `Quick, r1_allowlist);
+    ("R2 detects wall-clock reads", `Quick, r2_detects);
+    ("R2 wallclock shim allowlisted", `Quick, r2_wallclock_shim_allowed);
+    ("R3 detects polymorphic compare", `Quick, r3_detects);
+    ("R3 negatives", `Quick, r3_negatives);
+    ("R4 detects hash-order dependence", `Quick, r4_detects);
+    ("R4 inline suppression", `Quick, r4_suppression);
+    ("R5 mli coverage", `Quick, r5_detects);
+    ("R6 stdout confinement", `Quick, r6_detects);
+    ("allowlist semantics", `Quick, allowlist_semantics);
+    ("diagnostic format", `Quick, diagnostic_format);
+    QCheck_alcotest.to_alcotest pheap_permutation_prop;
+  ]

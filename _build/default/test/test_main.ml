@@ -13,4 +13,5 @@ let () =
       ("stats", Test_stats.suite);
       ("experiments", Test_experiments.suite);
       ("pomdp", Test_pomdp.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,1 @@
+tools/lint/allowlist.ml: Fun List Printf String

@@ -1,0 +1,1 @@
+tools/lint/diagnostic.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+tools/lint/diagnostic.mli: Format

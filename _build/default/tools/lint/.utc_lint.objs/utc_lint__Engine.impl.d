@@ -1,0 +1,1 @@
+tools/lint/engine.ml: Allowlist Array Diagnostic Filename List Printf Rules Source String Suppress Sys

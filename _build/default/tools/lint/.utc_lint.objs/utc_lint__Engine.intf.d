@@ -1,0 +1,1 @@
+tools/lint/engine.mli: Allowlist Diagnostic Source

@@ -1,0 +1,1 @@
+tools/lint/rules.ml: Diagnostic Filename List Printf Set Source String Textscan

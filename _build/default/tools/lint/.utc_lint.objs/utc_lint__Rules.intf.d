@@ -1,0 +1,1 @@
+tools/lint/rules.mli: Diagnostic Source

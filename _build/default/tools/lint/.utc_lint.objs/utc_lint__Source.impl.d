@@ -1,0 +1,1 @@
+tools/lint/source.ml: Array Bytes Fun List Stdlib String

@@ -1,0 +1,1 @@
+tools/lint/suppress.ml: List Source String

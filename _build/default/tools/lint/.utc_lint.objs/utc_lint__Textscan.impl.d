@@ -1,0 +1,1 @@
+tools/lint/textscan.ml: List String

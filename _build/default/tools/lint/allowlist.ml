@@ -1,0 +1,44 @@
+type entry = { rule : string; path : string }
+type t = entry list
+
+let empty = []
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let line = String.trim (strip_comment line) in
+         if line = "" then []
+         else
+           match String.index_opt line ' ' with
+           | None -> failwith (Printf.sprintf "allowlist: line %d: expected '<rule> <path>'" (i + 1))
+           | Some sp ->
+             let rule = String.sub line 0 sp in
+             let path = String.trim (String.sub line sp (String.length line - sp)) in
+             if path = "" then
+               failwith (Printf.sprintf "allowlist: line %d: missing path" (i + 1))
+             else [ { rule; path } ])
+       lines)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let entry_matches e ~rule ~path =
+  (e.rule = "*" || e.rule = rule)
+  &&
+  let plen = String.length e.path in
+  if plen > 0 && e.path.[plen - 1] = '/' then
+    String.length path >= plen && String.sub path 0 plen = e.path
+  else e.path = path
+
+let allows t ~rule ~path = List.exists (entry_matches ~rule ~path) t
+let size t = List.length t

@@ -1,0 +1,16 @@
+type t = { path : string; line : int; rule : string; message : string }
+
+let make ~path ~line ~rule ~message = { path; line; rule; message }
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.message b.message
+
+let to_string t = Printf.sprintf "%s:%d: %s %s" t.path t.line t.rule t.message
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,20 @@
+(** A single lint finding, pointing at a file, line, and rule. *)
+
+type t = {
+  path : string;
+  line : int;  (** 1-based. *)
+  rule : string;  (** Rule id, e.g. ["R2"]. *)
+  message : string;
+}
+
+val make : path:string -> line:int -> rule:string -> message:string -> t
+
+val compare : t -> t -> int
+(** Path, then line, then rule, then message — a total order so reported
+    findings are independent of scan order. *)
+
+val to_string : t -> string
+(** Rendered as ["path:line: RULE message"], the format asserted by the
+    build rule and tests. *)
+
+val pp : Format.formatter -> t -> unit

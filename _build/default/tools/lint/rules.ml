@@ -1,0 +1,236 @@
+type t = {
+  id : string;
+  name : string;
+  doc : string;
+  check : Source.t -> Diagnostic.t list;
+}
+
+let in_lib path = String.length path >= 4 && String.sub path 0 4 = "lib/"
+
+let diag (src : Source.t) ~pos ~rule ~message =
+  Diagnostic.make ~path:src.Source.path ~line:(Source.line_of_pos src pos) ~rule ~message
+
+(* Every boundary-delimited occurrence of any of [tokens], as diagnostics. *)
+let flag_tokens (src : Source.t) ~rule ~tokens ~message =
+  List.concat_map
+    (fun token ->
+      List.map
+        (fun pos -> diag src ~pos ~rule ~message:(message token))
+        (Textscan.find_token src.Source.code ~token))
+    tokens
+
+(* --- R1 no-ambient-randomness --- *)
+
+(* Flag [Random] only when used as a module path ([Random.foo]); this also
+   catches [Stdlib.Random.foo], since the boundary test treats the dot
+   before [Random] as a delimiter. *)
+let check_r1 (src : Source.t) =
+  let code = src.Source.code in
+  Textscan.find_token code ~token:"Random"
+  |> List.filter (fun pos ->
+         let after = Textscan.skip_ws code ~pos:(pos + 6) in
+         after < String.length code && code.[after] = '.')
+  |> List.map (fun pos ->
+         diag src ~pos ~rule:"R1"
+           ~message:
+             "ambient randomness (Stdlib.Random): route all randomness through the seeded \
+              Utc_sim.Rng")
+
+(* --- R2 no-wall-clock --- *)
+
+let wall_clock_tokens = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let check_r2 (src : Source.t) =
+  if not (in_lib src.Source.path) then []
+  else
+    flag_tokens src ~rule:"R2" ~tokens:wall_clock_tokens ~message:(fun token ->
+        Printf.sprintf
+          "wall-clock read (%s) in lib/: simulated code must be a pure function of the seed; \
+           benchmark timing goes through Utc_sim.Wallclock"
+          token)
+
+(* --- R3 no-polymorphic-compare --- *)
+
+let sort_functions =
+  [
+    "List.sort";
+    "List.stable_sort";
+    "List.fast_sort";
+    "List.sort_uniq";
+    "Array.sort";
+    "Array.stable_sort";
+    "Array.fast_sort";
+  ]
+
+let check_r3 (src : Source.t) =
+  let code = src.Source.code in
+  let stdlib_compare =
+    List.map
+      (fun pos ->
+        diag src ~pos ~rule:"R3"
+          ~message:
+            "Stdlib.compare is polymorphic: use a type-specific comparator (Float.compare, \
+             Timebase.compare, String.compare, ...)")
+      (Textscan.find_token code ~token:"Stdlib.compare")
+  in
+  let sort_sites =
+    List.concat_map
+      (fun fn ->
+        Textscan.find_token code ~token:fn
+        |> List.filter_map (fun pos ->
+               match Textscan.next_token code ~pos:(pos + String.length fn) with
+               | Some (_, "compare") ->
+                 Some
+                   (diag src ~pos ~rule:"R3"
+                      ~message:
+                        (Printf.sprintf
+                           "polymorphic compare passed to %s: key order must not depend on \
+                            structural compare; use an explicit comparator"
+                           fn))
+               | _ -> None))
+      sort_functions
+  in
+  stdlib_compare @ sort_sites
+
+(* --- R4 no-hash-order-dependence --- *)
+
+let r4_window_lines = 20
+
+(* A [Hashtbl.iter]/[fold] is only deterministic downstream if its results
+   are re-sorted (or reduced order-independently).  We cannot prove either
+   lexically, so: flag unless some sort appears within the next
+   [r4_window_lines] lines; genuinely order-independent reductions carry an
+   inline [(* lint:allow R4 -- why *)]. *)
+let check_r4 (src : Source.t) =
+  let code = src.Source.code in
+  let sorted_nearby pos =
+    let line = Source.line_of_pos src pos in
+    let stop = Source.line_start src (line + r4_window_lines + 1) in
+    let window = String.sub code pos (stop - pos) in
+    (* Any mention of sorting counts: List.sort, sort_uniq, a local
+       [sorted] helper, ... *)
+    let rec mentions_sort i =
+      match String.index_from_opt window i 's' with
+      | Some j when j + 4 <= String.length window && String.sub window j 4 = "sort" -> true
+      | Some j -> mentions_sort (j + 1)
+      | None -> false
+    in
+    mentions_sort 0
+  in
+  let iter_folds =
+    List.concat_map
+      (fun token -> Textscan.find_token code ~token)
+      [ "Hashtbl.iter"; "Hashtbl.fold" ]
+    |> List.filter (fun pos -> not (sorted_nearby pos))
+    |> List.map (fun pos ->
+           diag src ~pos ~rule:"R4"
+             ~message:
+               "Hashtbl iteration order is seed-irrelevant but hash-dependent: sort the results \
+                before they feed ordered output, or justify with (* lint:allow R4 -- ... *)")
+  in
+  let hash_uses =
+    List.map
+      (fun pos ->
+        diag src ~pos ~rule:"R4"
+          ~message:
+            "Hashtbl.hash as a tie-breaker makes event order depend on the memory representation; \
+             use an explicit sequence number")
+      (Textscan.find_token code ~token:"Hashtbl.hash")
+  in
+  List.sort Diagnostic.compare (iter_folds @ hash_uses)
+
+(* --- R5 mli-coverage (file-set check) --- *)
+
+let mli_coverage ~paths =
+  let module S = Set.Make (String) in
+  let set = S.of_list paths in
+  paths
+  |> List.filter (fun p ->
+         in_lib p
+         && Filename.check_suffix p ".ml"
+         && not (S.mem (p ^ "i") set))
+  |> List.sort String.compare
+  |> List.map (fun p ->
+         Diagnostic.make ~path:p ~line:1 ~rule:"R5"
+           ~message:
+             "missing interface: every lib/ module needs a sibling .mli so its deterministic \
+              surface is explicit")
+
+(* --- R6 no-stdout-in-lib --- *)
+
+let stdout_tokens =
+  [
+    "print_string";
+    "print_bytes";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_endline";
+    "print_newline";
+    "Printf.printf";
+    "Format.printf";
+    "Format.print_string";
+    "Format.print_int";
+    "Format.print_float";
+    "Format.print_char";
+    "Format.print_bool";
+    "Format.print_newline";
+    "Format.print_flush";
+  ]
+
+let check_r6 (src : Source.t) =
+  if not (in_lib src.Source.path) then []
+  else
+    flag_tokens src ~rule:"R6" ~tokens:stdout_tokens ~message:(fun token ->
+        Printf.sprintf
+          "%s writes to stdout from lib/: return data or take a formatter; stdout belongs to \
+           bin/, bench/ and examples/"
+          token)
+
+let all =
+  [
+    {
+      id = "R1";
+      name = "no-ambient-randomness";
+      doc = "Stdlib.Random is forbidden; all randomness flows through seeded Utc_sim.Rng.";
+      check = check_r1;
+    };
+    {
+      id = "R2";
+      name = "no-wall-clock";
+      doc =
+        "Unix.gettimeofday/Unix.time/Sys.time are forbidden in lib/ outside the \
+         Utc_sim.Wallclock shim.";
+      check = check_r2;
+    };
+    {
+      id = "R3";
+      name = "no-polymorphic-compare";
+      doc =
+        "Stdlib.compare, and bare `compare` at sort call sites, are forbidden; use \
+         type-specific comparators.";
+      check = check_r3;
+    };
+    {
+      id = "R4";
+      name = "no-hash-order-dependence";
+      doc =
+        "Hashtbl.iter/fold results must be sorted before feeding ordered output; Hashtbl.hash \
+         must not break ties.";
+      check = check_r4;
+    };
+    {
+      id = "R5";
+      name = "mli-coverage";
+      doc = "Every lib/**/*.ml has a sibling .mli.";
+      check = (fun _ -> []);
+    };
+    {
+      id = "R6";
+      name = "no-stdout-in-lib";
+      doc = "print_*/Printf.printf/Format.printf are confined to bin/, bench/ and examples/.";
+      check = check_r6;
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

@@ -1,0 +1,32 @@
+type entry = { line : int; rules : string list }
+type t = entry list
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun w -> w <> "")
+
+let parse_comment (c : Source.comment) =
+  let words = split_words c.Source.text in
+  match words with
+  | "lint:allow" :: rest ->
+    let rules =
+      List.fold_left
+        (fun acc w -> match acc with `Done rs -> `Done rs | `Take rs -> (
+           if w = "--" then `Done rs else `Take (w :: rs)))
+        (`Take []) rest
+    in
+    let rules = match rules with `Done rs | `Take rs -> List.rev rs in
+    if rules = [] then None else Some { line = c.Source.comment_line; rules }
+  | _ -> None
+
+let of_source src = List.filter_map parse_comment src.Source.comments
+
+let active t ~rule ~line =
+  List.exists
+    (fun e -> (e.line = line || e.line = line - 1) && List.mem rule e.rules)
+    t
+
+let count t = List.length t

@@ -1,0 +1,22 @@
+(** Inline suppressions: [(* lint:allow R4 *)] comments.
+
+    A comment whose body starts with [lint:allow] followed by one or more
+    rule ids silences those rules locally.  Anything after an optional
+    [--] is free-form justification and is ignored:
+
+    {[ (* lint:allow R4 -- min over unique keys; order-independent *) ]}
+
+    Scope: a suppression comment silences the listed rules on the line the
+    comment starts on, and — so it can sit on its own line above the
+    offending code — on the following line as well. *)
+
+type t
+
+val of_source : Source.t -> t
+(** Collect every [lint:allow] comment in the file. *)
+
+val active : t -> rule:string -> line:int -> bool
+(** Whether the given rule is suppressed at the given 1-based line. *)
+
+val count : t -> int
+(** Number of suppression comments found (for reporting/tests). *)

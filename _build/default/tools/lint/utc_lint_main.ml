@@ -1,0 +1,62 @@
+(* Determinism linter CLI.
+
+   Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+   One finding per line on stdout, as "path:line: RULE message", sorted. *)
+
+let usage () =
+  prerr_endline
+    "usage: utc_lint_main [--allowlist FILE] [--list-rules] [DIR-OR-FILE...]\n\
+     \n\
+     Scans every .ml/.mli under the given roots (default: lib bin bench\n\
+     examples) and reports violations of the determinism rules R1-R6.\n\
+     Suppress a finding inline with (* lint:allow <rule> -- reason *) or\n\
+     with an allowlist entry (see tools/lint/lint.allow)."
+
+let list_rules () =
+  List.iter
+    (fun (r : Utc_lint.Rules.t) ->
+      Printf.printf "%s %-25s %s\n" r.Utc_lint.Rules.id r.Utc_lint.Rules.name
+        r.Utc_lint.Rules.doc)
+    Utc_lint.Rules.all
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse args (allowlist_file, roots) =
+    match args with
+    | [] -> Ok (allowlist_file, List.rev roots)
+    | "--help" :: _ | "-h" :: _ ->
+      usage ();
+      exit 0
+    | "--list-rules" :: _ ->
+      list_rules ();
+      exit 0
+    | "--allowlist" :: file :: rest -> parse rest (Some file, roots)
+    | "--allowlist" :: [] -> Error "--allowlist needs a file argument"
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Error (Printf.sprintf "unknown option %s" arg)
+    | root :: rest -> parse rest (allowlist_file, root :: roots)
+  in
+  match parse args (None, []) with
+  | Error msg ->
+    Printf.eprintf "utc_lint: %s\n" msg;
+    usage ();
+    exit 2
+  | Ok (allowlist_file, roots) -> (
+    let roots = if roots = [] then [ "lib"; "bin"; "bench"; "examples" ] else roots in
+    try
+      let allowlist =
+        match allowlist_file with
+        | Some file -> Utc_lint.Allowlist.load file
+        | None -> Utc_lint.Allowlist.empty
+      in
+      let findings = Utc_lint.Engine.run ~allowlist ~roots in
+      List.iter (fun d -> print_endline (Utc_lint.Diagnostic.to_string d)) findings;
+      match findings with
+      | [] -> exit 0
+      | _ :: _ ->
+        Printf.eprintf "utc_lint: %d violation(s)\n" (List.length findings);
+        exit 1
+    with
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "utc_lint: %s\n" msg;
+      exit 2)

@@ -1,0 +1,30 @@
+(** Per-rule file allowlist.
+
+    The allowlist file ([tools/lint/lint.allow]) has one entry per line:
+
+    {v
+    # comment
+    R1 lib/sim/rng.ml
+    R6 lib/stats/ascii_plot.ml
+    R2 lib/experiments/     # a trailing '/' allowlists a whole subtree
+    v}
+
+    An entry is a rule id followed by a repo-relative path.  A path ending
+    in ['/'] matches every file under that directory; otherwise the match
+    is exact.  The rule id [*] allowlists a path for every rule. *)
+
+type t
+
+val empty : t
+
+val of_string : string -> t
+(** Parse allowlist text. Raises [Failure] with a [line N] message on a
+    malformed entry. *)
+
+val load : string -> t
+(** Read and parse the file at the given path. *)
+
+val allows : t -> rule:string -> path:string -> bool
+
+val size : t -> int
+(** Number of entries (for reporting/tests). *)

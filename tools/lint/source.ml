@@ -1,0 +1,201 @@
+type comment = { comment_line : int; text : string }
+
+type t = {
+  path : string;
+  raw : string;
+  code : string;
+  line_starts : int array;
+  comments : comment list;
+}
+
+let normalize_path path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let compute_line_starts raw =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) raw;
+  Array.of_list (List.rev !starts)
+
+let blank bytes ~from ~until =
+  for p = from to until - 1 do
+    if Bytes.get bytes p <> '\n' then Bytes.set bytes p ' '
+  done
+
+(* Skip an OCaml escape sequence starting at the backslash at [i]; returns
+   the offset just past it. Handles \n-style, \123, \xhh, \o777, \uXXXX. *)
+let skip_escape raw i =
+  let n = String.length raw in
+  if i + 1 >= n then n
+  else
+    match raw.[i + 1] with
+    | '0' .. '9' -> Stdlib.min n (i + 4)
+    | 'x' -> Stdlib.min n (i + 4)
+    | 'o' -> Stdlib.min n (i + 5)
+    | 'u' -> (
+      match String.index_from_opt raw (i + 1) '}' with
+      | Some j -> j + 1
+      | None -> n)
+    | _ -> i + 2
+
+(* Scan an ordinary string literal whose opening quote is at [i]; returns
+   the offset just past the closing quote (or end of input if unterminated). *)
+let scan_string raw i =
+  let n = String.length raw in
+  let j = ref (i + 1) in
+  let stop = ref false in
+  while (not !stop) && !j < n do
+    match raw.[!j] with
+    | '\\' -> j := skip_escape raw !j
+    | '"' ->
+      incr j;
+      stop := true
+    | _ -> incr j
+  done;
+  !j
+
+(* Quoted string {id|...|id}: if [i] starts one, return the offset just past
+   the closing delimiter. *)
+let scan_quoted_string raw i =
+  let n = String.length raw in
+  let j = ref (i + 1) in
+  while !j < n && (raw.[!j] = '_' || (raw.[!j] >= 'a' && raw.[!j] <= 'z')) do
+    incr j
+  done;
+  if !j >= n || raw.[!j] <> '|' then None
+  else begin
+    let id = String.sub raw (i + 1) (!j - i - 1) in
+    let closing = "|" ^ id ^ "}" in
+    let clen = String.length closing in
+    let k = ref (!j + 1) in
+    let result = ref None in
+    while !result = None && !k + clen <= n do
+      if String.sub raw !k clen = closing then result := Some (!k + clen) else incr k
+    done;
+    Some (match !result with Some stop -> stop | None -> n)
+  end
+
+(* Char literal starting at the quote at [i] (e.g. 'a', '\n', '"'). Returns
+   the offset just past it, or None when the quote is a type variable or
+   polymorphic-variant tick instead. *)
+let scan_char_literal raw i =
+  let n = String.length raw in
+  if i + 1 >= n then None
+  else if raw.[i + 1] = '\\' then begin
+    let after = skip_escape raw (i + 1) in
+    if after < n && raw.[after] = '\'' then Some (after + 1) else None
+  end
+  else if i + 2 < n && raw.[i + 2] = '\'' && raw.[i + 1] <> '\'' then Some (i + 3)
+  else None
+
+(* Comment starting with the "(*" at [i]. Returns (end_offset, body), where
+   body excludes the outer delimiters and end_offset is just past the
+   closing "*)". Strings inside comments are honored, so a "*)" inside a
+   quoted string does not close the comment. *)
+let scan_comment raw i =
+  let n = String.length raw in
+  let depth = ref 1 in
+  let j = ref (i + 2) in
+  while !depth > 0 && !j < n do
+    if !j + 1 < n && raw.[!j] = '(' && raw.[!j + 1] = '*' then begin
+      incr depth;
+      j := !j + 2
+    end
+    else if !j + 1 < n && raw.[!j] = '*' && raw.[!j + 1] = ')' then begin
+      decr depth;
+      j := !j + 2
+    end
+    else if raw.[!j] = '"' then j := scan_string raw !j
+    else incr j
+  done;
+  let body_end = if !depth = 0 then !j - 2 else !j in
+  (!j, String.sub raw (i + 2) (Stdlib.max 0 (body_end - i - 2)))
+
+let of_string ~path contents =
+  let raw = contents in
+  let n = String.length raw in
+  let code = Bytes.of_string raw in
+  let line_starts = compute_line_starts raw in
+  let line_of pos =
+    (* Positions at or past the end belong to the last line. *)
+    let pos = Stdlib.min pos (Stdlib.max 0 (n - 1)) in
+    let lo = ref 0 and hi = ref (Array.length line_starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if line_starts.(mid) <= pos then lo := mid else hi := mid - 1
+    done;
+    !lo + 1
+  in
+  let comments = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = raw.[!i] in
+    if c = '(' && !i + 1 < n && raw.[!i + 1] = '*' then begin
+      let stop, body = scan_comment raw !i in
+      comments := { comment_line = line_of !i; text = body } :: !comments;
+      blank code ~from:!i ~until:stop;
+      i := stop
+    end
+    else if c = '"' then begin
+      let stop = scan_string raw !i in
+      blank code ~from:!i ~until:stop;
+      i := stop
+    end
+    else if c = '{' then begin
+      match scan_quoted_string raw !i with
+      | Some stop ->
+        blank code ~from:!i ~until:stop;
+        i := stop
+      | None -> incr i
+    end
+    else if c = '\'' then begin
+      match scan_char_literal raw !i with
+      | Some stop ->
+        blank code ~from:!i ~until:stop;
+        i := stop
+      | None -> incr i
+    end
+    else incr i
+  done;
+  {
+    path = normalize_path path;
+    raw;
+    code = Bytes.to_string code;
+    line_starts;
+    comments = List.rev !comments;
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let contents = really_input_string ic (in_channel_length ic) in
+      of_string ~path contents)
+
+let line_of_pos t pos =
+  let n = String.length t.raw in
+  let pos = Stdlib.min pos (Stdlib.max 0 (n - 1)) in
+  let lo = ref 0 and hi = ref (Array.length t.line_starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.line_starts.(mid) <= pos then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
+
+let num_lines t = Array.length t.line_starts
+
+let line_start t line =
+  let idx = Stdlib.max 0 (line - 1) in
+  if idx >= Array.length t.line_starts then String.length t.raw else t.line_starts.(idx)
+
+let code_line t line =
+  let start = line_start t line in
+  let stop = line_start t (line + 1) in
+  let stop = if stop > start && t.raw.[stop - 1] = '\n' then stop - 1 else stop in
+  String.sub t.code start (stop - start)
+
+let line_has_code t line =
+  String.exists (fun c -> c <> ' ' && c <> '\t' && c <> '\r') (code_line t line)

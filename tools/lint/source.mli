@@ -1,0 +1,54 @@
+(** A scanned OCaml source file, preprocessed for lexical rule checks.
+
+    Loading a file produces two parallel views of its text:
+
+    - [code]: the original text with every comment, string literal, and
+      character literal blanked to spaces (newlines preserved), so token
+      searches only hit live code and offsets/line numbers stay aligned
+      with the original file;
+    - [comments]: the text of every comment together with its starting
+      line, which is what the {!Suppress} parser consumes.
+
+    The lexer understands nested [(* ... *)] comments (including string
+    literals inside comments, which may contain ["*)"]), ordinary ["..."]
+    strings with backslash escapes, quoted strings [{id|...|id}], and
+    character literals (so ['"'] does not open a string). *)
+
+type comment = {
+  comment_line : int;  (** 1-based line where the comment opens. *)
+  text : string;  (** Comment body, without the outer [(*]/[*)] delimiters. *)
+}
+
+type t = private {
+  path : string;  (** Repo-relative path, ['/']-separated. *)
+  raw : string;
+  code : string;  (** Same length as [raw]; comments/strings blanked. *)
+  line_starts : int array;  (** Offset of the start of each (1-based) line. *)
+  comments : comment list;  (** In file order. *)
+}
+
+val normalize_path : string -> string
+(** Strip a leading ["./"] and turn backslashes into slashes. *)
+
+val of_string : path:string -> string -> t
+(** Scan in-memory contents, e.g. a test fixture. [path] is used for
+    diagnostics and path-scoped rules; it is normalized (leading ["./"]
+    stripped, backslashes to slashes). *)
+
+val load : string -> t
+(** Read the file at the given path and scan it. *)
+
+val line_of_pos : t -> int -> int
+(** 1-based line containing byte offset [pos]. *)
+
+val num_lines : t -> int
+
+val line_start : t -> int -> int
+(** Byte offset where the given 1-based line starts. Lines past the end
+    clamp to the end of the text. *)
+
+val code_line : t -> int -> string
+(** The blanked text of a 1-based line, without its newline. *)
+
+val line_has_code : t -> int -> bool
+(** Whether the blanked text of the line contains any non-blank character. *)

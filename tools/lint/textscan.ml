@@ -1,0 +1,59 @@
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let boundary_ok text pos len =
+  let before_ok = pos = 0 || not (is_ident_char text.[pos - 1]) in
+  let after = pos + len in
+  let after_ok = after >= String.length text || not (is_ident_char text.[after]) in
+  before_ok && after_ok
+
+let find_token text ~token =
+  let tlen = String.length token in
+  if tlen = 0 then []
+  else begin
+    let acc = ref [] in
+    let limit = String.length text - tlen in
+    let i = ref 0 in
+    while !i <= limit do
+      (match String.index_from_opt text !i token.[0] with
+      | None -> i := limit + 1
+      | Some start when start > limit -> i := limit + 1
+      | Some start ->
+        if String.sub text start tlen = token && boundary_ok text start tlen then begin
+          acc := start :: !acc;
+          i := start + tlen
+        end
+        else i := start + 1)
+    done;
+    List.rev !acc
+  end
+
+let has_token text ~token = find_token text ~token <> []
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_ws text ~pos =
+  let n = String.length text in
+  let i = ref pos in
+  while !i < n && is_ws text.[!i] do
+    incr i
+  done;
+  !i
+
+let next_token text ~pos =
+  let n = String.length text in
+  let start = skip_ws text ~pos in
+  if start >= n || not (is_ident_char text.[start]) then None
+  else begin
+    let stop = ref start in
+    while !stop < n && (is_ident_char text.[!stop] || text.[!stop] = '.') do
+      incr stop
+    done;
+    (* Trim a trailing dot: "compare." is the token "compare" followed by
+       punctuation, not part of the path. *)
+    let stop = if !stop > start && text.[!stop - 1] = '.' then !stop - 1 else !stop in
+    Some (start, String.sub text start (stop - start))
+  end

@@ -1,0 +1,33 @@
+(** Identifier-aware token search over blanked source text.
+
+    All rule checks in this linter are lexical: they look for dotted
+    identifier paths such as ["Unix.gettimeofday"] in source text from
+    which comments and string literals have already been erased (see
+    {!Source}).  The helpers here implement boundary-correct matching so
+    that ["Random"] does not match inside ["Pseudo_random"], and
+    ["print_string"] does not match inside ["pp_print_string"]. *)
+
+val is_ident_char : char -> bool
+(** Letters, digits, ['_'] and ['\'']: the characters that can extend an
+    OCaml identifier. *)
+
+val find_token : string -> token:string -> int list
+(** [find_token text ~token] returns the start offsets (ascending) of every
+    occurrence of [token] in [text] that is delimited on both sides by
+    non-identifier characters (or the ends of [text]).  [token] may be a
+    dotted path like ["Unix.time"]; the boundary test applies to its first
+    and last characters, so ["Unix.time"] does not match in
+    ["Unix.gettimeofday"] or ["Unix.timeofday"]. *)
+
+val has_token : string -> token:string -> bool
+
+val next_token : string -> pos:int -> (int * string) option
+(** [next_token text ~pos] skips whitespace (including newlines) starting at
+    [pos] and reads the next maximal run of identifier characters and dots
+    (a dotted path such as ["Float.compare"]).  Returns its start offset and
+    text, or [None] if the next non-blank character does not start an
+    identifier, or the end of [text] is reached. *)
+
+val skip_ws : string -> pos:int -> int
+(** Offset of the first non-whitespace character at or after [pos]
+    ([String.length text] if none). *)
