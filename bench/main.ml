@@ -5,7 +5,7 @@
      dune exec bench/main.exe                 -- reports + timings
      dune exec bench/main.exe -- reports      -- reports only
      dune exec bench/main.exe -- kernels      -- timings only
-     dune exec bench/main.exe -- fig1|fig2|fig3|prior|simple|util|ablate|aqm|versus
+     dune exec bench/main.exe -- fig1|fig2|fig3|prior|simple|util|ablate|aqm|versus|faults|..
 *)
 
 module E = Utc_experiments
@@ -74,6 +74,10 @@ let report_skew () =
   section "Extension - return-path delay as an inferred parameter (S3.4)";
   E.Skew.pp_report Format.std_formatter (E.Skew.run ())
 
+let report_faults () =
+  section "Extension - unmodeled faults: belief collapse and graceful recovery";
+  E.Ext_faults.pp_report Format.std_formatter (E.Ext_faults.run_all ())
+
 let report_pomdp () =
   section "S3.3 - precomputed policy for a discretized model";
   List.iter
@@ -108,6 +112,7 @@ let reports =
     ("versus", report_versus);
     ("versus2", report_versus2);
     ("skew", report_skew);
+    ("faults", report_faults);
     ("pomdp", report_pomdp);
     ("families", report_families);
     ("scale", report_scale);
@@ -198,6 +203,7 @@ let bench_ablate_scaled () = fun () -> ignore (E.Ablations.loss_mode ~duration:8
 let bench_aqm_scaled () = fun () -> ignore (E.Versus.tcp_under_aqm ~duration:10.0 ())
 let bench_versus_scaled () = fun () -> ignore (E.Versus.isender_vs_tcp ~duration:20.0 ())
 let bench_skew_scaled () = fun () -> ignore (E.Skew.run ~duration:20.0 ())
+let bench_faults_scaled () = fun () -> ignore (E.Ext_faults.run_rate_flap ~duration:60.0 ())
 let bench_pomdp () = fun () -> ignore (Utc_pomdp.Sender_mdp.solve Utc_pomdp.Sender_mdp.default)
 
 let run_kernels () =
@@ -223,6 +229,7 @@ let run_kernels () =
         test "aqm/10s" bench_aqm_scaled;
         test "versus/20s" bench_versus_scaled;
         test "skew/20s" bench_skew_scaled;
+        test "faults/rate-flap-60s" bench_faults_scaled;
         test "pomdp/solve" bench_pomdp;
       ]
   in

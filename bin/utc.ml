@@ -166,6 +166,18 @@ let skew_cmd =
   let info = Cmd.info "skew" ~doc:"Extension: infer the return-path delay (S3.4 future work)." in
   Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let run () seed duration =
+    E.Ext_faults.pp_report Format.std_formatter (E.Ext_faults.run_all ~seed ~duration ())
+  in
+  let info =
+    Cmd.info "faults"
+      ~doc:"Extension: unmodeled mid-run faults; belief collapse and graceful recovery."
+  in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
+
 (* --- pomdp --- *)
 
 let pomdp_cmd =
@@ -257,6 +269,7 @@ let main_cmd =
   in
   Cmd.group info
     [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
-      versus_cmd; versus2_cmd; skew_cmd; pomdp_cmd; families_cmd; sweep_cmd; scale_cmd ]
+      versus_cmd; versus2_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd; sweep_cmd;
+      scale_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -2,6 +2,7 @@ open Utc_net
 module Engine = Utc_sim.Engine
 module Tb = Utc_sim.Timebase
 module Belief = Utc_inference.Belief
+module Degeneracy = Utc_inference.Degeneracy
 
 let src = Logs.Src.create "utc.isender" ~doc:"Model-based transmission controller"
 
@@ -14,6 +15,7 @@ type config = {
   min_sleep : float;
   max_sleep : float;
   burst_cap : int;
+  recovery : Recovery.config option;
 }
 
 let default_config =
@@ -24,6 +26,7 @@ let default_config =
     min_sleep = 0.001;
     max_sleep = 60.0;
     burst_cap = 64;
+    recovery = None;
   }
 
 type 'p decider =
@@ -38,6 +41,9 @@ type 'p t = {
   config : config;
   decide : 'p decider;
   inject : Packet.t -> unit;
+  reseed_fn : (now:Tb.t -> 'p Belief.t -> 'p Belief.t) option;
+  monitor : Degeneracy.t;
+  mutable ladder : Recovery.t;
   mutable belief : 'p Belief.t;
   mutable pending_sends : (Tb.t * Packet.t) list; (* newest first *)
   mutable pending_acks : Belief.ack list; (* newest first *)
@@ -46,21 +52,33 @@ type 'p t = {
   mutable wakeup_at : Tb.t option; (* immediate wakeup already queued for this instant *)
   mutable sent : (Tb.t * int) list; (* newest first *)
   mutable acked : (Tb.t * int) list; (* newest first *)
+  mutable sent_n : int;
+  mutable acked_n : int;
   mutable rejected : int;
+  mutable stale_acks : int;
+  mutable ack_floor : int; (* ACKs below this seq predate the last reseed *)
+  mutable next_probe_at : Tb.t;
+  mutable last_status : Belief.update_status;
+  mutable transitions : (Tb.t * Recovery.phase * Recovery.phase) list; (* newest first *)
   mutable last_evaluations : Planner.evaluation list;
   mutable hooks : (Tb.t -> 'p t -> unit) list;
+  mutable transition_hooks : (Tb.t -> Recovery.phase -> Recovery.phase -> unit) list;
   mutable running : bool;
 }
 
 let default_decider config belief ~now ~pending ~make_packet =
   Planner.decide config.planner ~belief ~now ~pending ~make_packet
 
-let create ?decide engine config ~belief ~inject =
+let create ?decide ?reseed engine config ~belief ~inject =
+  let ladder = Recovery.initial (Option.value config.recovery ~default:Recovery.default_config) in
   {
     engine;
     config;
     decide = Option.value decide ~default:(default_decider config);
     inject;
+    reseed_fn = reseed;
+    monitor = Degeneracy.create ();
+    ladder;
     belief;
     pending_sends = [];
     pending_acks = [];
@@ -69,9 +87,17 @@ let create ?decide engine config ~belief ~inject =
     wakeup_at = None;
     sent = [];
     acked = [];
+    sent_n = 0;
+    acked_n = 0;
     rejected = 0;
+    stale_acks = 0;
+    ack_floor = 0;
+    next_probe_at = Tb.zero;
+    last_status = Belief.Consistent;
+    transitions = [];
     last_evaluations = [];
     hooks = [];
+    transition_hooks = [];
     running = false;
   }
 
@@ -87,8 +113,55 @@ let transmit t now =
   t.next_seq <- t.next_seq + 1;
   t.pending_sends <- (now, pkt) :: t.pending_sends;
   t.sent <- (now, pkt.Packet.seq) :: t.sent;
+  t.sent_n <- t.sent_n + 1;
   Log.debug (fun m -> m "t=%a send seq=%d" Tb.pp now pkt.Packet.seq);
   t.inject pkt
+
+(* Drive the recovery ladder with this wakeup's filtering outcome; fire a
+   reseed when the ladder says so. Returns unit — the caller re-reads the
+   ladder phase when acting. *)
+let drive_recovery t now status =
+  match t.config.recovery with
+  | None -> ()
+  | Some rc ->
+    let event =
+      match status with
+      | Belief.All_rejected -> Recovery.Rejected
+      | Belief.Consistent -> Recovery.Accepted { top_weight = Degeneracy.top_weight t.belief }
+    in
+    let before = Recovery.phase t.ladder in
+    let ladder, action = Recovery.step rc t.ladder event in
+    t.ladder <- ladder;
+    (match action with
+    | Recovery.No_action -> ()
+    | Recovery.Fire_reseed ->
+      Degeneracy.reset t.monitor;
+      (match t.reseed_fn with
+      | None -> Log.warn (fun m -> m "t=%a reseed fired but no reseed callback" Tb.pp now)
+      | Some f ->
+        t.belief <- f ~now t.belief;
+        (* ACKs of packets sent against the dead posterior would poison
+           the fresh hypotheses (which know nothing of those sends);
+           watermark them out of future updates. *)
+        t.ack_floor <- t.next_seq;
+        Log.info (fun m ->
+            m "t=%a posterior reseeded (%d hypotheses, ack floor %d)" Tb.pp now
+              (Belief.size t.belief) t.ack_floor));
+      (* Quiet period: the first probe waits one interval so in-flight
+         pre-reseed traffic drains before fresh timings are scored. *)
+      t.next_probe_at <- Tb.add now (Recovery.interval ladder));
+    let after = Recovery.phase ladder in
+    if not (Recovery.phase_equal before after) then begin
+      t.transitions <- (now, before, after) :: t.transitions;
+      List.iter (fun f -> f now before after) t.transition_hooks;
+      Log.info (fun m ->
+          m "t=%a recovery %a -> %a" Tb.pp now Recovery.pp_phase before Recovery.pp_phase after)
+    end
+
+let probing t =
+  match t.config.recovery with
+  | None -> false
+  | Some _ -> Recovery.phase_equal (Recovery.phase t.ladder) Recovery.Probing
 
 let rec wakeup t () =
   if not t.running then ()
@@ -98,13 +171,24 @@ let rec wakeup t () =
   cancel_timer t;
   (* Job 1: filter the belief with everything seen since the last wakeup. *)
   let sends = List.rev t.pending_sends in
-  let acks = List.rev t.pending_acks in
+  let acks_all = List.rev t.pending_acks in
   t.pending_sends <- [];
   t.pending_acks <- [];
+  let acks =
+    if t.ack_floor = 0 then acks_all
+    else begin
+      let fresh, stale =
+        List.partition (fun (a : Belief.ack) -> a.Belief.seq >= t.ack_floor) acks_all
+      in
+      t.stale_acks <- t.stale_acks + List.length stale;
+      fresh
+    end
+  in
   let belief, status =
     Belief.update t.belief ~sends ~acks ~now ~now_prio:Evprio.endpoint_wakeup ()
   in
   t.belief <- belief;
+  t.last_status <- status;
   let () =
     match status with
     | Belief.Consistent -> ()
@@ -112,8 +196,26 @@ let rec wakeup t () =
       t.rejected <- t.rejected + 1;
       Log.warn (fun m -> m "t=%a all configurations rejected; advanced unconditioned" Tb.pp now)
   in
+  (* A timer wakeup with nothing to condition on is vacuously Consistent;
+     it must neither reset the rejection streak nor count as calm, or a
+     persistent fault hides behind every interleaved timer tick. A
+     rejection is always informative (it takes evidence to reject). *)
+  let informative =
+    (match acks with
+    | _ :: _ -> true
+    | [] -> false)
+    ||
+    match status with
+    | Belief.All_rejected -> true
+    | Belief.Consistent -> false
+  in
+  if informative then begin
+    ignore (Degeneracy.observe t.monitor belief status : Degeneracy.signal list);
+    drive_recovery t now status
+  end;
   (* Job 2: act to maximize expected utility, possibly several sends in a
-     burst, then sleep. *)
+     burst, then sleep. While Probing the planner is not trusted: pace
+     conservatively, one packet per probe interval. *)
   let rec act burst =
     if burst >= t.config.burst_cap then schedule_sleep t now t.config.min_sleep
     else begin
@@ -130,7 +232,15 @@ let rec wakeup t () =
       | Planner.Sleep d -> schedule_sleep t now d
     end
   in
-  act 0;
+  if probing t then begin
+    if Tb.compare now t.next_probe_at >= 0 then begin
+      transmit t now;
+      t.next_probe_at <- Tb.add now (Recovery.interval t.ladder);
+      schedule_sleep t now (Recovery.interval t.ladder)
+    end
+    else schedule_sleep t now (Tb.sub t.next_probe_at now)
+  end
+  else act 0;
   List.iter (fun f -> f now t) t.hooks
   end
 
@@ -151,6 +261,7 @@ let on_ack t pkt =
     let now = Engine.now t.engine in
     t.pending_acks <- { Belief.seq = pkt.Packet.seq; time = now } :: t.pending_acks;
     t.acked <- (now, pkt.Packet.seq) :: t.acked;
+    t.acked_n <- t.acked_n + 1;
     (* Batch all same-instant ACKs into one wakeup, after every network
        event of this instant. *)
     match t.wakeup_at with
@@ -168,7 +279,16 @@ let stop t =
 let belief t = t.belief
 let sent t = List.rev t.sent
 let acked t = List.rev t.acked
-let sent_count t = List.length t.sent
+let sent_count t = t.sent_n
+let acked_count t = t.acked_n
 let rejected_updates t = t.rejected
+let stale_acks t = t.stale_acks
+let last_update_status t = t.last_status
+let recovery_phase t = Recovery.phase t.ladder
+let reseeds t = Recovery.reseeds t.ladder
+let rejection_streak t = Degeneracy.streak t.monitor
+let max_rejection_streak t = Degeneracy.worst_streak t.monitor
+let transitions t = List.rev t.transitions
 let last_evaluations t = t.last_evaluations
 let on_wakeup t f = t.hooks <- f :: t.hooks
+let on_transition t f = t.transition_hooks <- f :: t.transition_hooks

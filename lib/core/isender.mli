@@ -8,6 +8,13 @@
     wakes the sender per packet, §3.4) and on timer expiry; a pending
     timer is superseded when an ACK wakes the sender early.
 
+    A third, optional job is robustness: with [config.recovery] set, a
+    {!Recovery} ladder watches the filtering status. After [reseed_after]
+    consecutive rejected updates it replaces the collapsed posterior via
+    the [reseed] callback (see {!Utc_inference.Belief.reseed}), watermarks
+    pre-reseed ACKs out of future updates, and paces conservatively
+    (Probing) until the fresh posterior re-concentrates.
+
     All wakeup work runs at the {!Utc_net.Evprio.endpoint_wakeup} priority
     class so the belief window cuts exactly where the engine stood. *)
 
@@ -20,6 +27,10 @@ type config = {
   burst_cap : int;
       (** Max transmissions in one wakeup instant (safety valve against a
           degenerate plan loop; default 64). *)
+  recovery : Recovery.config option;
+      (** Enable the misspecification recovery ladder (default [None]:
+          rejected updates are only counted and logged, the pre-existing
+          behaviour). *)
 }
 
 val default_config : config
@@ -39,13 +50,17 @@ type 'p decider =
 
 val create :
   ?decide:'p decider ->
+  ?reseed:(now:Utc_sim.Timebase.t -> 'p Utc_inference.Belief.t -> 'p Utc_inference.Belief.t) ->
   Utc_sim.Engine.t ->
   config ->
   belief:'p Utc_inference.Belief.t ->
   inject:(Utc_net.Packet.t -> unit) ->
   'p t
 (** [inject] hands a packet to the ground-truth network (e.g.
-    {!Utc_elements.Runtime.inject}). Call {!start} to begin. *)
+    {!Utc_elements.Runtime.inject}). [reseed] builds the replacement
+    belief when the recovery ladder fires — typically
+    {!Utc_inference.Belief.reseed} with a re-widened prior; without it a
+    fired reseed only logs a warning. Call {!start} to begin. *)
 
 val start : 'p t -> unit
 (** Schedule the first wakeup at the engine's current time. *)
@@ -69,10 +84,38 @@ val sent : 'p t -> (Utc_sim.Timebase.t * int) list
 val acked : 'p t -> (Utc_sim.Timebase.t * int) list
 
 val sent_count : 'p t -> int
+(** O(1). *)
+
+val acked_count : 'p t -> int
+(** O(1). *)
 
 val rejected_updates : 'p t -> int
 (** Wakeups where every configuration was inconsistent (model
     misspecification; the belief advanced unconditioned). *)
+
+val stale_acks : 'p t -> int
+(** ACKs discarded because they acknowledged pre-reseed sends (below the
+    watermark) that the fresh posterior knows nothing about. *)
+
+val last_update_status : 'p t -> Utc_inference.Belief.update_status
+
+val recovery_phase : 'p t -> Recovery.phase
+(** [Healthy] when no recovery ladder is configured. *)
+
+val reseeds : 'p t -> int
+(** Reseeds fired so far. *)
+
+val rejection_streak : 'p t -> int
+(** Current consecutive-rejection streak (reset by a consistent update
+    or a reseed). *)
+
+val max_rejection_streak : 'p t -> int
+(** Longest consecutive-rejection streak observed. With recovery enabled
+    and reseeds remaining this is bounded by
+    {!Recovery.config.reseed_after}. *)
+
+val transitions : 'p t -> (Utc_sim.Timebase.t * Recovery.phase * Recovery.phase) list
+(** Recovery-ladder phase transitions, (time, from, to), oldest first. *)
 
 val last_evaluations : 'p t -> Planner.evaluation list
 (** Candidate pricing from the most recent planning step. *)
@@ -80,3 +123,8 @@ val last_evaluations : 'p t -> Planner.evaluation list
 val on_wakeup : 'p t -> (Utc_sim.Timebase.t -> 'p t -> unit) -> unit
 (** Hook run after each wakeup's belief update and actions (for
     experiment traces; [t] is passed back for queries). *)
+
+val on_transition :
+  'p t -> (Utc_sim.Timebase.t -> Recovery.phase -> Recovery.phase -> unit) -> unit
+(** Hook run on every recovery-ladder phase transition, with the time,
+    the previous phase and the new phase. *)

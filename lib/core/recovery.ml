@@ -1,0 +1,139 @@
+type phase =
+  | Healthy
+  | Suspect
+  | Probing
+
+let phase_equal a b =
+  match (a, b) with
+  | Healthy, Healthy | Suspect, Suspect | Probing, Probing -> true
+  | (Healthy | Suspect | Probing), _ -> false
+
+let pp_phase ppf p =
+  let text =
+    match p with
+    | Healthy -> "healthy"
+    | Suspect -> "suspect"
+    | Probing -> "probing"
+  in
+  Format.pp_print_string ppf text
+
+type config = {
+  suspect_after : int;
+  reseed_after : int;
+  probe_interval : float;
+  probe_backoff : float;
+  probe_decay : float;
+  probe_interval_max : float;
+  reconcentrate_mass : float;
+  healthy_after : int;
+  max_reseeds : int option;
+}
+
+let default_config =
+  {
+    suspect_after = 2;
+    reseed_after = 4;
+    probe_interval = 1.0;
+    probe_backoff = 2.0;
+    probe_decay = 0.8;
+    probe_interval_max = 16.0;
+    reconcentrate_mass = 0.5;
+    healthy_after = 5;
+    max_reseeds = None;
+  }
+
+type event =
+  | Rejected
+  | Accepted of { top_weight : float }
+
+type action =
+  | No_action
+  | Fire_reseed
+
+type t = {
+  phase : phase;
+  streak : int;
+  calm : int;
+  interval : float;
+  reseeds : int;
+}
+
+let validate config =
+  if config.suspect_after < 1 then invalid_arg "Recovery: suspect_after must be >= 1";
+  if config.reseed_after < config.suspect_after then
+    invalid_arg "Recovery: reseed_after must be >= suspect_after";
+  if config.probe_interval <= 0.0 then invalid_arg "Recovery: probe_interval must be positive";
+  if config.probe_backoff < 1.0 then invalid_arg "Recovery: probe_backoff must be >= 1";
+  if not (0.0 < config.probe_decay && config.probe_decay <= 1.0) then
+    invalid_arg "Recovery: probe_decay must be in (0, 1]";
+  if config.probe_interval_max < config.probe_interval then
+    invalid_arg "Recovery: probe_interval_max must be >= probe_interval";
+  if not (0.0 < config.reconcentrate_mass && config.reconcentrate_mass <= 1.0) then
+    invalid_arg "Recovery: reconcentrate_mass must be in (0, 1]";
+  if config.healthy_after < 1 then invalid_arg "Recovery: healthy_after must be >= 1";
+  match config.max_reseeds with
+  | Some n when n < 0 -> invalid_arg "Recovery: max_reseeds must be non-negative"
+  | Some _ | None -> ()
+
+let initial config =
+  validate config;
+  { phase = Healthy; streak = 0; calm = 0; interval = config.probe_interval; reseeds = 0 }
+
+let reseed_allowed config t =
+  match config.max_reseeds with
+  | None -> true
+  | Some n -> t.reseeds < n
+
+let step config t event =
+  match event with
+  | Rejected ->
+    let streak = t.streak + 1 in
+    if streak >= config.reseed_after && reseed_allowed config t then begin
+      (* The ladder's bound: the streak never exceeds [reseed_after]
+         before a reseed fires (as long as reseeds remain). Re-entering
+         Probing from Probing backs the pace off multiplicatively. *)
+      let interval =
+        match t.phase with
+        | Probing -> Float.min (t.interval *. config.probe_backoff) config.probe_interval_max
+        | Healthy | Suspect -> config.probe_interval
+      in
+      ({ phase = Probing; streak = 0; calm = 0; interval; reseeds = t.reseeds + 1 }, Fire_reseed)
+    end
+    else begin
+      let phase =
+        match t.phase with
+        | Probing -> Probing
+        | Healthy | Suspect -> if streak >= config.suspect_after then Suspect else t.phase
+      in
+      let interval =
+        match t.phase with
+        | Probing -> Float.min (t.interval *. config.probe_backoff) config.probe_interval_max
+        | Healthy | Suspect -> t.interval
+      in
+      ({ t with phase; streak; calm = 0; interval }, No_action)
+    end
+  | Accepted { top_weight } -> (
+    match t.phase with
+    | Healthy -> ({ t with streak = 0; calm = 0 }, No_action)
+    | Suspect ->
+      (* One consistent update clears suspicion: the model explains
+         reality again and the posterior was never replaced. *)
+      ({ t with phase = Healthy; streak = 0; calm = 0 }, No_action)
+    | Probing ->
+      let calm = t.calm + 1 in
+      let interval = Float.max (t.interval *. config.probe_decay) 1e-3 in
+      if calm >= config.healthy_after && top_weight >= config.reconcentrate_mass then
+        ( {
+            phase = Healthy;
+            streak = 0;
+            calm = 0;
+            interval = config.probe_interval;
+            reseeds = t.reseeds;
+          },
+          No_action )
+      else ({ t with streak = 0; calm; interval }, No_action))
+
+let phase t = t.phase
+let streak t = t.streak
+let interval t = t.interval
+let reseeds t = t.reseeds

@@ -1,0 +1,97 @@
+(** The ISender's misspecification recovery ladder.
+
+    A pure state machine — no engine, no clock, no I/O — driven by one
+    event per filtering step and answering with at most one action. The
+    ladder encodes the paper's §3.5 open question ("what should the
+    sender do when no configuration explains the observations?") as a
+    graceful-degradation policy:
+
+    {v
+      Healthy --k1 rejections--> Suspect --k rejections total--> (reseed)
+                                                                    |
+      Healthy <--calm streak + reconcentrated posterior-- Probing <-'
+    v}
+
+    - {b Healthy}: the filter explains reality; the planner runs
+      normally.
+    - {b Suspect}: [suspect_after] consecutive {!Belief.All_rejected}
+      updates. Still planning normally — a single consistent update
+      clears the suspicion — but the ladder is armed.
+    - {b Reseed}: at [reseed_after] consecutive rejections the ladder
+      fires {!Fire_reseed}: the caller replaces the collapsed posterior
+      (see {!Utc_inference.Belief.reseed}) and the ladder enters
+      Probing. The rejection streak therefore never exceeds
+      [reseed_after] while reseeds remain.
+    - {b Probing}: the sender ignores the (not-yet-trusted) planner and
+      paces conservatively, one packet per [interval] — AIMD-style:
+      each further rejection multiplies the interval by [probe_backoff]
+      (capped), each consistent update multiplies it by [probe_decay].
+      After [healthy_after] consecutive consistent updates {e and} a
+      top-hypothesis weight of at least [reconcentrate_mass], the
+      posterior is considered re-concentrated and the ladder returns to
+      Healthy. *)
+
+type phase =
+  | Healthy
+  | Suspect
+  | Probing
+
+val phase_equal : phase -> phase -> bool
+val pp_phase : Format.formatter -> phase -> unit
+
+type config = {
+  suspect_after : int;  (** Consecutive rejections before Suspect (default 2). *)
+  reseed_after : int;
+      (** Consecutive rejections before a reseed fires — the bound [k]
+          on the rejection streak (default 4). *)
+  probe_interval : float;  (** Initial conservative pace, seconds (default 1.0). *)
+  probe_backoff : float;
+      (** Multiplicative backoff on a rejection while probing (default 2.0). *)
+  probe_decay : float;
+      (** Multiplicative decay on a consistent update while probing
+          (default 0.8). *)
+  probe_interval_max : float;  (** Backoff cap, seconds (default 16.0). *)
+  reconcentrate_mass : float;
+      (** Top-hypothesis weight at which the posterior counts as
+          re-concentrated (default 0.5). *)
+  healthy_after : int;
+      (** Consecutive consistent updates required to leave Probing
+          (default 5). *)
+  max_reseeds : int option;
+      (** Cap on reseeds; [None] (default) is unlimited. When exhausted
+          the ladder stays in its current phase and the streak may grow
+          without bound. *)
+}
+
+val default_config : config
+
+type event =
+  | Rejected  (** The filtering step returned {!Belief.All_rejected}. *)
+  | Accepted of { top_weight : float }
+      (** A consistent update; [top_weight] is the heaviest hypothesis'
+          posterior mass (see {!Utc_inference.Degeneracy.top_weight}). *)
+
+type action =
+  | No_action
+  | Fire_reseed
+      (** The caller must replace the posterior now; the ladder has
+          already moved to Probing and reset its streak. *)
+
+type t
+
+val initial : config -> t
+(** @raise Invalid_argument on an out-of-range configuration. *)
+
+val step : config -> t -> event -> t * action
+(** Pure: returns the successor state and the action to take. *)
+
+val phase : t -> phase
+
+val streak : t -> int
+(** Current consecutive-rejection streak. *)
+
+val interval : t -> float
+(** Current probe pacing interval (meaningful while Probing). *)
+
+val reseeds : t -> int
+(** Reseeds fired since {!initial}. *)

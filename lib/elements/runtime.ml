@@ -49,7 +49,16 @@ type t = {
   states : nstate array;
   rngs : Rng.t array;
   cb : callbacks;
+  (* Mid-run perturbations of the ground truth (fault injection). An
+     override replaces the compiled parameter until cleared; rate
+     overrides take effect at the next service start, loss overrides at
+     the next arrival. *)
+  rate_overrides : float option array;
+  loss_overrides : float option array;
 }
+
+let effective_rate t id rate_bps = Option.value t.rate_overrides.(id) ~default:rate_bps
+let effective_loss t id rate = Option.value t.loss_overrides.(id) ~default:rate
 
 (* Packet arrivals are processed synchronously: an event at time t whose
    consequence is an arrival elsewhere at the same t continues inline, so
@@ -66,7 +75,8 @@ let rec arrive t link pkt =
       let prio = Evprio.arrival pkt.Packet.flow in
       ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
     | Loss { rate; next } ->
-      if Rng.bernoulli t.rngs.(id) ~p:rate then t.cb.on_drop ~node_id:id ~reason:Stochastic_loss pkt
+      if Rng.bernoulli t.rngs.(id) ~p:(effective_loss t id rate) then
+        t.cb.on_drop ~node_id:id ~reason:Stochastic_loss pkt
       else arrive t next pkt
     | Jitter { seconds; probability; next } ->
       if Rng.bernoulli t.rngs.(id) ~p:probability then begin
@@ -120,7 +130,7 @@ and station_arrive t id capacity_bits rate_bps next pkt =
 
 and start_service t id s rate_bps next pkt =
   s.busy <- true;
-  let service_time = float_of_int pkt.Packet.bits /. rate_bps in
+  let service_time = float_of_int pkt.Packet.bits /. effective_rate t id rate_bps in
   (* On completion the next service starts BEFORE the served packet is
      forwarded: forwarding can reach a receiver whose sender synchronously
      injects a new packet back into this station, and that packet must see
@@ -209,7 +219,17 @@ let build engine compiled cb =
   in
   let root = Engine.rng engine in
   let rngs = Array.init count (fun _ -> Rng.split root) in
-  let t = { engine; compiled; states; rngs; cb } in
+  let t =
+    {
+      engine;
+      compiled;
+      states;
+      rngs;
+      cb;
+      rate_overrides = Array.make count None;
+      loss_overrides = Array.make count None;
+    }
+  in
   Array.iteri
     (fun id n ->
       match (n : Compiled.node) with
@@ -222,6 +242,28 @@ let build engine compiled cb =
 
 let inject t flow pkt = arrive t (Compiled.entry t.compiled flow) pkt
 let entry_node t flow = { Node.push = (fun pkt -> inject t flow pkt) }
+let compiled t = t.compiled
+
+let set_rate_override t ~node_id rate =
+  (match Compiled.node t.compiled node_id with
+  | Station _ -> ()
+  | Delay _ | Loss _ | Jitter _ | Gate _ | Either _ | Divert _ | Multipath _ ->
+    invalid_arg "Runtime.set_rate_override: node is not a station");
+  (match rate with
+  | Some r when r <= 0.0 -> invalid_arg "Runtime.set_rate_override: rate must be positive"
+  | Some _ | None -> ());
+  t.rate_overrides.(node_id) <- rate
+
+let set_loss_override t ~node_id rate =
+  (match Compiled.node t.compiled node_id with
+  | Loss _ -> ()
+  | Delay _ | Station _ | Jitter _ | Gate _ | Either _ | Divert _ | Multipath _ ->
+    invalid_arg "Runtime.set_loss_override: node is not a loss element");
+  (match rate with
+  | Some p when p < 0.0 || p > 1.0 ->
+    invalid_arg "Runtime.set_loss_override: probability out of [0, 1]"
+  | Some _ | None -> ());
+  t.loss_overrides.(node_id) <- rate
 
 let station_state t ~node_id =
   match t.states.(node_id) with

@@ -47,6 +47,27 @@ val inject : t -> Utc_net.Flow.t -> Utc_net.Packet.t -> unit
 val entry_node : t -> Utc_net.Flow.t -> Node.t
 (** The endpoint entry as a {!Node.t}, for wiring senders. *)
 
+val compiled : t -> Utc_net.Compiled.t
+(** The compiled network this runtime executes. *)
+
+(** {1 Ground-truth perturbation (fault injection)}
+
+    Overrides change the {e real} network mid-run without touching the
+    sender's model — the misspecification experiments ({!Faults}) are
+    built on them. They are deterministic: a rate override takes effect
+    at the next service start (the packet in service finishes at its
+    already-scheduled time), a loss override at the next arrival. *)
+
+val set_rate_override : t -> node_id:int -> float option -> unit
+(** Replace a station's service rate (bit/s) until cleared with [None].
+    @raise Invalid_argument if the node is not a station or the rate is
+    not positive. *)
+
+val set_loss_override : t -> node_id:int -> float option -> unit
+(** Replace a loss element's drop probability until cleared with [None].
+    @raise Invalid_argument if the node is not a loss element or the
+    probability is outside [0, 1]. *)
+
 (** {1 Introspection (tests and instrumentation)} *)
 
 val queue_bits : t -> node_id:int -> int

@@ -28,6 +28,7 @@ type 'p t = {
   max_hyps : int;
   cap_policy : cap_policy;
   obs_offset : 'p -> float;
+  ll_floor : float option;
   now : Tb.t;
 }
 
@@ -43,7 +44,11 @@ let normalize_hyps hyps =
 let sort_heaviest hyps = List.sort (fun a b -> Float.compare b.logw a.logw) hyps
 
 let create ?(tick = 1e-6) ?(min_weight = 1e-9) ?(max_hyps = 20_000) ?(cap_policy = `Top_k)
-    ?(obs_offset = fun _ -> 0.0) seeds =
+    ?(obs_offset = fun _ -> 0.0) ?ll_floor seeds =
+  (match ll_floor with
+  | Some f when not (0.0 < f && f < 1.0) ->
+    invalid_arg "Belief.create: ll_floor must be in (0, 1)"
+  | Some _ | None -> ());
   let hyp (params, weight, prepared, state) =
     {
       params;
@@ -54,35 +59,60 @@ let create ?(tick = 1e-6) ?(min_weight = 1e-9) ?(max_hyps = 20_000) ?(cap_policy
     }
   in
   let hyps = normalize_hyps (List.map hyp seeds) in
-  { hyps = sort_heaviest hyps; tick; min_weight; max_hyps; cap_policy; obs_offset; now = Tb.zero }
+  {
+    hyps = sort_heaviest hyps;
+    tick;
+    min_weight;
+    max_hyps;
+    cap_policy;
+    obs_offset;
+    ll_floor;
+    now = Tb.zero;
+  }
 
 (* Log-likelihood of the observed ACK set under one simulated outcome, or
    None if the outcome is inconsistent: wrong delivery time, an ACK the
    outcome cannot explain, or a missing ACK with no loss to blame.
    [offset] shifts predicted delivery times into the sender's observation
    clock: a hypothesized return-path delay plus receiver clock skew
-   (paper S3.4/S3.5). *)
-let score ~tick ~offset ~acks (deliveries : Forward.delivery list) =
+   (paper S3.4/S3.5).
+
+   With a likelihood floor [floor = Some f], each violation contributes
+   [log f] instead of killing the outcome: one impossible ACK dents the
+   posterior rather than zeroing it, so a transiently misspecified belief
+   degrades gracefully instead of collapsing. *)
+let score ~tick ~floor ~offset ~acks (deliveries : Forward.delivery list) =
   let exception Rejected in
+  let penalize acc =
+    match floor with
+    | Some f -> acc +. log f
+    | None -> raise Rejected
+  in
   try
     let matched = Hashtbl.create 8 in
     let delivery_ll acc (d : Forward.delivery) =
       match List.find_opt (fun a -> a.seq = d.packet.Packet.seq) acks with
       | Some a ->
+        (* Even at the wrong time, the delivery accounts for the ACK's
+           existence; a floored mismatch is one violation, not two. *)
+        Hashtbl.replace matched a.seq ();
         if Tb.close ~tol:tick a.time (d.time +. offset) then begin
-          Hashtbl.replace matched a.seq ();
-          if d.survive_p <= 0.0 then raise Rejected else acc +. log d.survive_p
+          if d.survive_p <= 0.0 then penalize acc else acc +. log d.survive_p
         end
-        else raise Rejected
+        else penalize acc
       | None ->
         (* Acknowledgment was due by now but never arrived: the packet
            must have been lost at a last-mile loss element. *)
         let loss_p = 1.0 -. d.survive_p in
-        if loss_p <= 0.0 then raise Rejected else acc +. log loss_p
+        if loss_p <= 0.0 then penalize acc else acc +. log loss_p
     in
     let ll = List.fold_left delivery_ll 0.0 deliveries in
-    let all_explained = List.for_all (fun a -> Hashtbl.mem matched a.seq) acks in
-    if all_explained then Some ll else None
+    let ll =
+      List.fold_left
+        (fun acc a -> if Hashtbl.mem matched a.seq then acc else penalize acc)
+        ll acks
+    in
+    Some ll
   with Rejected -> None
 
 let prune ~min_weight hyps =
@@ -150,7 +180,9 @@ let step t ~sends ~acks ~now ~now_prio ~condition =
           (fun (d : Forward.delivery) -> Tb.( <=. ) (d.time +. offset) (now +. t.tick))
           (hyp.awaiting @ observable)
       in
-      let ll = if condition then score ~tick:t.tick ~offset ~acks due else Some 0.0 in
+      let ll =
+        if condition then score ~tick:t.tick ~floor:t.ll_floor ~offset ~acks due else Some 0.0
+      in
       match ll with
       | None -> None
       | Some ll ->
@@ -194,6 +226,73 @@ let update t ~sends ~acks ~now ?now_prio () =
   end
 
 let advance t ~sends ~now ?now_prio () = step t ~sends ~acks:[] ~now ~now_prio ~condition:false
+
+(* Shift a hypothesis state (typically Mstate.initial, at time 0) so its
+   history restarts at [now]: its clock, every pending event, and any
+   in-service completion move together, preserving all relative timing. *)
+let anchor now (state : Mstate.t) =
+  let shift = now -. state.Mstate.now in
+  if shift = 0.0 then state
+  else begin
+    let nodes =
+      Array.map
+        (fun (n : Mstate.nstate) ->
+          match n with
+          | Mstate.MStation s ->
+            Mstate.MStation
+              {
+                s with
+                Mstate.in_service =
+                  Option.map (fun (p, at) -> (p, at +. shift)) s.Mstate.in_service;
+              }
+          | Mstate.MGate _ | Mstate.MEither _ | Mstate.MMultipath _ | Mstate.MStateless -> n)
+        state.Mstate.nodes
+    in
+    let pending =
+      List.map
+        (fun (e : Mstate.event) -> { e with Mstate.time = e.Mstate.time +. shift })
+        state.Mstate.pending
+    in
+    { state with Mstate.now; nodes; pending }
+  end
+
+let reseed t ~seeds ?(keep = 0.0) ~now () =
+  if keep < 0.0 || keep >= 1.0 then invalid_arg "Belief.reseed: keep must be in [0, 1)";
+  if Tb.compare now t.now < 0 then invalid_arg "Belief.reseed: now is before the belief's time";
+  let fresh =
+    normalize_hyps
+      (List.map
+         (fun (params, weight, prepared, state) ->
+           {
+             params;
+             prepared;
+             state = anchor now state;
+             logw = (if weight <= 0.0 then neg_infinity else log weight);
+             awaiting = [];
+           })
+         seeds)
+  in
+  (match fresh with
+  | [] -> invalid_arg "Belief.reseed: no fresh seeds with positive weight"
+  | _ :: _ -> ());
+  let kept =
+    if keep <= 0.0 then []
+    else begin
+      (* Survivors must be at [now] already (the caller just filtered to
+         now); scale their unit mass down to [keep]. *)
+      let stale = List.exists (fun h -> Tb.compare h.state.Mstate.now now <> 0) t.hyps in
+      if stale then invalid_arg "Belief.reseed: kept hypotheses are not at now";
+      List.map (fun h -> { h with logw = h.logw +. log keep }) t.hyps
+    end
+  in
+  let fresh_scale =
+    match kept with
+    | [] -> 0.0
+    | _ :: _ -> log1p (-.keep)
+  in
+  let fresh = List.map (fun h -> { h with logw = h.logw +. fresh_scale }) fresh in
+  let hyps = normalize_hyps (kept @ fresh) in
+  { t with hyps = sort_heaviest hyps; now }
 
 let support t = t.hyps
 

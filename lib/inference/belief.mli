@@ -42,6 +42,7 @@ val create :
   ?max_hyps:int ->
   ?cap_policy:cap_policy ->
   ?obs_offset:('p -> float) ->
+  ?ll_floor:float ->
   ('p * float * Utc_model.Forward.prepared * Utc_model.Mstate.t) list ->
   'p t
 (** [tick] (default 1e-6 s) is the tolerance when matching predicted to
@@ -55,7 +56,15 @@ val create :
     sender's clock: a hypothesized return-path delay plus receiver clock
     skew, the §3.4/§3.5 future-work parameters. Deliveries whose shifted
     acknowledgment is not yet due are held in {!hypothesis.awaiting} and
-    scored in a later window. *)
+    scored in a later window.
+
+    [ll_floor] (default off; must be in (0, 1)) is the misspecification
+    guard: instead of removing an outcome on an inconsistency (wrong ACK
+    time, unexplained ACK, missing ACK with no loss to blame), each
+    violation contributes [log ll_floor] to its log-likelihood. A single
+    impossible observation then dents the posterior instead of zeroing
+    it, at the cost of strict rejection's sharpness.
+    @raise Invalid_argument on an out-of-range [ll_floor]. *)
 
 type update_status =
   | Consistent
@@ -88,6 +97,28 @@ val advance :
   unit ->
   'p t
 (** {!update} without conditioning (prediction only). *)
+
+val reseed :
+  'p t ->
+  seeds:('p * float * Utc_model.Forward.prepared * Utc_model.Mstate.t) list ->
+  ?keep:float ->
+  now:Utc_sim.Timebase.t ->
+  unit ->
+  'p t
+(** Recovery from belief collapse (model misspecification, §3.5 open
+    question): inject [seeds] — fresh configurations, typically a prior
+    re-widened around the current MAP estimate — as new hypotheses
+    {e anchored at [now]}: each seed state's clock, pending events and
+    in-service completions are shifted so its history restarts at [now],
+    exactly as {!Utc_model.Mstate.initial} would describe time 0.
+
+    [keep] (default 0) is the posterior mass retained by the current
+    hypotheses; the fresh seeds are normalized among themselves and share
+    the remaining [1 - keep]. Deterministic: no randomness is consumed.
+
+    @raise Invalid_argument if [keep] is outside [0, 1), [now] precedes
+    the belief's time, no seed has positive weight, or [keep > 0] while a
+    current hypothesis is not at [now]. *)
 
 (** {1 Queries} *)
 

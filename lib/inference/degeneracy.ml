@@ -1,0 +1,63 @@
+type config = {
+  ess_ratio_floor : float;
+  top_weight_ceiling : float;
+  streak_limit : int;
+}
+
+let default_config = { ess_ratio_floor = 0.1; top_weight_ceiling = 0.999; streak_limit = 3 }
+
+type signal =
+  | Rejection_streak
+  | Ess_collapse
+  | Weight_concentration
+
+let pp_signal ppf s =
+  let text =
+    match s with
+    | Rejection_streak -> "rejection_streak"
+    | Ess_collapse -> "ess_collapse"
+    | Weight_concentration -> "weight_concentration"
+  in
+  Format.pp_print_string ppf text
+
+type t = {
+  config : config;
+  mutable streak : int;
+  mutable worst_streak : int;
+}
+
+let create ?(config = default_config) () =
+  if config.streak_limit < 1 then invalid_arg "Degeneracy.create: streak_limit must be >= 1";
+  { config; streak = 0; worst_streak = 0 }
+
+let top_weight belief =
+  match Belief.support belief with
+  | [] -> 0.0
+  | h :: _ -> exp h.Belief.logw
+
+let ess_ratio belief =
+  let size = Belief.size belief in
+  if size = 0 then 0.0 else Particle.ess belief /. float_of_int size
+
+let observe t belief (status : Belief.update_status) =
+  (match status with
+  | Belief.All_rejected ->
+    t.streak <- t.streak + 1;
+    if t.streak > t.worst_streak then t.worst_streak <- t.streak
+  | Belief.Consistent -> t.streak <- 0);
+  let signals = if t.streak >= t.config.streak_limit then [ Rejection_streak ] else [] in
+  let signals =
+    if Belief.size belief > 1 && ess_ratio belief < t.config.ess_ratio_floor then
+      Ess_collapse :: signals
+    else signals
+  in
+  let signals =
+    if Belief.size belief > 0 && top_weight belief >= t.config.top_weight_ceiling then
+      Weight_concentration :: signals
+    else signals
+  in
+  signals
+
+let streak t = t.streak
+let worst_streak t = t.worst_streak
+let reset t = t.streak <- 0

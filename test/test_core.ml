@@ -276,3 +276,127 @@ let suggest_delays_scales_with_belief () =
   Alcotest.(check bool) "usable" true (decision = Planner.Send_now)
 
 let suite = suite @ [ ("suggest delays scales", `Quick, suggest_delays_scales_with_belief) ]
+
+(* --- Recovery ladder (pure transitions) --- *)
+
+module Recovery = Utc_core.Recovery
+
+let rc = Recovery.default_config
+let accepted ?(top_weight = 1.0) () = Recovery.Accepted { top_weight }
+
+(* Feed a list of events, returning the final state and every action. *)
+let drive config t events =
+  List.fold_left
+    (fun (t, actions) event ->
+      let t, action = Recovery.step config t event in
+      (t, action :: actions))
+    (t, []) events
+  |> fun (t, actions) -> (t, List.rev actions)
+
+let ladder_escalates_and_fires () =
+  let t = Recovery.initial rc in
+  Alcotest.(check bool) "starts healthy" true (Recovery.phase_equal Recovery.Healthy (Recovery.phase t));
+  let t, a = Recovery.step rc t Recovery.Rejected in
+  Alcotest.(check bool) "one rejection stays healthy" true
+    (Recovery.phase_equal Recovery.Healthy (Recovery.phase t) && a = Recovery.No_action);
+  let t, a = Recovery.step rc t Recovery.Rejected in
+  Alcotest.(check bool) "suspect_after reached" true
+    (Recovery.phase_equal Recovery.Suspect (Recovery.phase t) && a = Recovery.No_action);
+  let t, _ = Recovery.step rc t Recovery.Rejected in
+  Alcotest.(check int) "streak counts" 3 (Recovery.streak t);
+  let t, a = Recovery.step rc t Recovery.Rejected in
+  Alcotest.(check bool) "reseed_after fires" true (a = Recovery.Fire_reseed);
+  Alcotest.(check bool) "probing after reseed" true
+    (Recovery.phase_equal Recovery.Probing (Recovery.phase t));
+  Alcotest.(check int) "streak cleared by reseed" 0 (Recovery.streak t);
+  Alcotest.(check int) "one reseed" 1 (Recovery.reseeds t)
+
+let ladder_suspect_clears_on_accept () =
+  let t = Recovery.initial rc in
+  let t, _ = drive rc t [ Recovery.Rejected; Recovery.Rejected; Recovery.Rejected ] in
+  Alcotest.(check bool) "suspect" true (Recovery.phase_equal Recovery.Suspect (Recovery.phase t));
+  let t, a = Recovery.step rc t (accepted ()) in
+  Alcotest.(check bool) "one consistent update clears suspicion" true
+    (Recovery.phase_equal Recovery.Healthy (Recovery.phase t) && a = Recovery.No_action);
+  Alcotest.(check int) "streak cleared" 0 (Recovery.streak t)
+
+let reject n = List.init n (fun _ -> Recovery.Rejected)
+
+let ladder_probe_backoff_and_decay () =
+  let t = Recovery.initial rc in
+  let t, _ = drive rc t (reject rc.Recovery.reseed_after) in
+  Alcotest.(check (float 1e-9)) "probe starts at base interval" rc.Recovery.probe_interval
+    (Recovery.interval t);
+  (* A second full streak while probing fires again and backs off. *)
+  let t, actions = drive rc t (reject rc.Recovery.reseed_after) in
+  Alcotest.(check bool) "second reseed fired" true (List.mem Recovery.Fire_reseed actions);
+  Alcotest.(check int) "two reseeds" 2 (Recovery.reseeds t);
+  Alcotest.(check bool) "interval backed off" true
+    (Recovery.interval t > rc.Recovery.probe_interval);
+  let widened = Recovery.interval t in
+  (* Consistency decays the interval multiplicatively. *)
+  let t, _ = Recovery.step rc t (accepted ~top_weight:0.1 ()) in
+  Alcotest.(check (float 1e-9)) "decay" (widened *. rc.Recovery.probe_decay) (Recovery.interval t);
+  (* Backoff is capped. *)
+  let t, _ = drive rc t (reject (20 * rc.Recovery.reseed_after)) in
+  Alcotest.(check bool) "backoff capped" true
+    (Recovery.interval t <= rc.Recovery.probe_interval_max +. 1e-9)
+
+let ladder_reheals_when_reconcentrated () =
+  let t = Recovery.initial rc in
+  let t, _ = drive rc t (reject rc.Recovery.reseed_after) in
+  (* Calm updates with a still-diffuse posterior do not re-heal... *)
+  let diffuse = List.init (2 * rc.Recovery.healthy_after) (fun _ -> accepted ~top_weight:0.2 ()) in
+  let t, _ = drive rc t diffuse in
+  Alcotest.(check bool) "diffuse posterior keeps probing" true
+    (Recovery.phase_equal Recovery.Probing (Recovery.phase t));
+  (* ...and a rejection resets the calm streak. *)
+  let t, _ = Recovery.step rc t Recovery.Rejected in
+  let concentrated = List.init rc.Recovery.healthy_after (fun _ -> accepted ~top_weight:0.9 ()) in
+  let t, _ = drive rc t (List.tl concentrated) in
+  Alcotest.(check bool) "calm streak not yet long enough" true
+    (Recovery.phase_equal Recovery.Probing (Recovery.phase t));
+  let t, _ = Recovery.step rc t (accepted ~top_weight:0.9 ()) in
+  Alcotest.(check bool) "re-healed" true (Recovery.phase_equal Recovery.Healthy (Recovery.phase t));
+  Alcotest.(check (float 1e-9)) "interval reset on heal" rc.Recovery.probe_interval
+    (Recovery.interval t)
+
+let ladder_max_reseeds_exhausts () =
+  let config = { rc with Recovery.max_reseeds = Some 1 } in
+  let t = Recovery.initial config in
+  let t, actions = drive config t (reject (3 * config.Recovery.reseed_after)) in
+  let fired = List.length (List.filter (fun a -> a = Recovery.Fire_reseed) actions) in
+  Alcotest.(check int) "only one reseed allowed" 1 fired;
+  Alcotest.(check int) "reseed count matches" 1 (Recovery.reseeds t);
+  (* With the budget exhausted the streak grows without bound. *)
+  Alcotest.(check bool) "streak unbounded" true
+    (Recovery.streak t > config.Recovery.reseed_after)
+
+let ladder_validates_config () =
+  let check name config =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Recovery.initial config);
+         false
+       with Invalid_argument _ -> true)
+  in
+  check "suspect_after < 1" { rc with Recovery.suspect_after = 0 };
+  check "reseed_after < suspect_after"
+    { rc with Recovery.reseed_after = rc.Recovery.suspect_after - 1 };
+  check "probe_interval <= 0" { rc with Recovery.probe_interval = 0.0 };
+  check "backoff < 1" { rc with Recovery.probe_backoff = 0.5 };
+  check "decay out of range" { rc with Recovery.probe_decay = 1.5 };
+  check "reconcentrate_mass out of range" { rc with Recovery.reconcentrate_mass = 1.5 };
+  check "healthy_after < 1" { rc with Recovery.healthy_after = 0 }
+
+let recovery_suite =
+  [
+    ("ladder escalates and fires", `Quick, ladder_escalates_and_fires);
+    ("ladder suspect clears on accept", `Quick, ladder_suspect_clears_on_accept);
+    ("ladder probe backoff and decay", `Quick, ladder_probe_backoff_and_decay);
+    ("ladder reheals when reconcentrated", `Quick, ladder_reheals_when_reconcentrated);
+    ("ladder max reseeds exhausts", `Quick, ladder_max_reseeds_exhausts);
+    ("ladder validates config", `Quick, ladder_validates_config);
+  ]
+
+let suite = suite @ recovery_suite

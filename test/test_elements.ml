@@ -517,3 +517,199 @@ let multipath_suite =
   ]
 
 let suite = suite @ multipath_suite
+
+(* --- Faults (deterministic misspecification injection) --- *)
+
+module Faults = Utc_elements.Faults
+
+let faults_topology =
+  net
+    (Topology.series
+       [
+         Topology.buffer ~capacity_bits:96_000;
+         Topology.throughput ~rate_bps:12_000.0;
+         Topology.loss ~rate:0.0;
+       ])
+
+let rate_flap_applies_at_next_service () =
+  let engine, runtime, deliveries, _ = build faults_topology in
+  let _faults =
+    Faults.arm engine runtime ~seed:11
+      [
+        {
+          Faults.from_ = 10.0;
+          until = 1000.0;
+          spec = Faults.Rate_flap { station = None; factor = 2.0 };
+        };
+      ]
+  in
+  send runtime engine ~at:0.0 ~seq:0 ();
+  (* In service when the flap hits: keeps its already-scheduled 12k
+     completion. *)
+  send runtime engine ~at:9.5 ~seq:1 ();
+  (* Served entirely inside the window: 24k bit/s, 0.5 s. *)
+  send runtime engine ~at:20.0 ~seq:2 ();
+  Engine.run ~until:30.0 engine;
+  Alcotest.(check bool) "flap takes effect at next service start" true
+    (deliveries ()
+    = [ (1.0, Flow.Primary, 0); (10.5, Flow.Primary, 1); (20.5, Flow.Primary, 2) ])
+
+let loss_burst_window () =
+  let engine, runtime, deliveries, drops = build faults_topology in
+  let _faults =
+    Faults.arm engine runtime ~seed:11
+      [ { Faults.from_ = 10.0; until = 20.0; spec = Faults.Loss_burst { node = None; rate = 1.0 } } ]
+  in
+  send runtime engine ~at:5.0 ~seq:0 ();
+  send runtime engine ~at:12.0 ~seq:1 ();
+  (* The window closes at 20 (half-open): this one survives. *)
+  send runtime engine ~at:20.0 ~seq:2 ();
+  Engine.run ~until:30.0 engine;
+  Alcotest.(check int) "two delivered" 2 (List.length (deliveries ()));
+  match drops () with
+  | [ (_, Runtime.Stochastic_loss, 1) ] -> ()
+  | other -> Alcotest.failf "expected seq 1 lost in the burst, got %d drops" (List.length other)
+
+let ack_faults_compose () =
+  (* Delay 0.5 s over the whole run, duplicates (p=1) 0.25 s after the
+     delayed original. *)
+  let engine = Engine.create ~seed:1 () in
+  let acks = ref [] in
+  let sink = ref (fun _ _ -> ()) in
+  let callbacks =
+    Runtime.callbacks ~deliver:(fun _ pkt -> !sink (Engine.now engine) pkt) ()
+  in
+  let runtime = Runtime.build engine (Compiled.compile_exn faults_topology) callbacks in
+  let faults =
+    Faults.arm engine runtime ~seed:11
+      [
+        { Faults.from_ = 0.0; until = 100.0; spec = Faults.Ack_delay { seconds = 0.5 } };
+        {
+          Faults.from_ = 0.0;
+          until = 100.0;
+          spec = Faults.Ack_duplicate { p = 1.0; delay = 0.25 };
+        };
+      ]
+  in
+  sink := Faults.wrap_ack faults (fun t pkt -> acks := (t, pkt.Packet.seq) :: !acks);
+  send runtime engine ~at:0.0 ~seq:0 ();
+  Engine.run ~until:10.0 engine;
+  (* Delivery at 1.0; delayed ack at 1.5; duplicate at 1.75. *)
+  Alcotest.(check bool) "delayed + duplicated" true (List.rev !acks = [ (1.5, 0); (1.75, 0) ]);
+  Alcotest.(check int) "delayed count" 1 (Faults.delayed_acks faults);
+  Alcotest.(check int) "duplicated count" 1 (Faults.duplicated_acks faults)
+
+let ack_drop_eats_acks () =
+  let engine = Engine.create ~seed:1 () in
+  let acks = ref 0 in
+  let sink = ref (fun _ _ -> ()) in
+  let callbacks =
+    Runtime.callbacks ~deliver:(fun _ pkt -> !sink (Engine.now engine) pkt) ()
+  in
+  let runtime = Runtime.build engine (Compiled.compile_exn faults_topology) callbacks in
+  let faults =
+    Faults.arm engine runtime ~seed:11
+      [ { Faults.from_ = 0.0; until = 100.0; spec = Faults.Ack_drop { p = 1.0 } } ]
+  in
+  sink := Faults.wrap_ack faults (fun _ _ -> incr acks);
+  for i = 0 to 4 do
+    send runtime engine ~at:(2.0 *. float_of_int i) ~seq:i ()
+  done;
+  Engine.run ~until:20.0 engine;
+  Alcotest.(check int) "no acks through" 0 !acks;
+  Alcotest.(check int) "all eaten" 5 (Faults.dropped_acks faults)
+
+let fault_validation () =
+  let engine, runtime, _, _ = build faults_topology in
+  let arm schedule = ignore (Faults.arm engine runtime ~seed:1 schedule) in
+  Alcotest.check_raises "empty window"
+    (Invalid_argument "Faults: fault window must satisfy 0 <= from < until") (fun () ->
+      arm [ { Faults.from_ = 5.0; until = 5.0; spec = Faults.Ack_drop { p = 0.5 } } ]);
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Faults: ack drop probability out of [0, 1]") (fun () ->
+      arm [ { Faults.from_ = 0.0; until = 1.0; spec = Faults.Ack_drop { p = 1.5 } } ]);
+  Alcotest.check_raises "overlap on one channel"
+    (Invalid_argument "Faults: overlapping windows target the same node or ack channel")
+    (fun () ->
+      arm
+        [
+          {
+            Faults.from_ = 0.0;
+            until = 10.0;
+            spec = Faults.Rate_flap { station = None; factor = 2.0 };
+          };
+          {
+            Faults.from_ = 5.0;
+            until = 15.0;
+            spec = Faults.Rate_flap { station = None; factor = 3.0 };
+          };
+        ]);
+  (* Disjoint windows on the same channel are fine; distinct ack fault
+     kinds may overlap. *)
+  arm
+    [
+      { Faults.from_ = 0.0; until = 5.0; spec = Faults.Rate_flap { station = None; factor = 2.0 } };
+      { Faults.from_ = 5.0; until = 10.0; spec = Faults.Rate_flap { station = None; factor = 3.0 } };
+      { Faults.from_ = 0.0; until = 10.0; spec = Faults.Ack_drop { p = 0.5 } };
+      { Faults.from_ = 0.0; until = 10.0; spec = Faults.Ack_delay { seconds = 0.5 } };
+    ]
+
+(* The replay contract: the whole run - delivered ack sequence and fault
+   counters - is a pure function of (seed, schedule). *)
+let faults_run ~fault_seed ~schedule =
+  let engine = Engine.create ~seed:2 () in
+  let acks = ref [] in
+  let sink = ref (fun _ _ -> ()) in
+  let callbacks =
+    Runtime.callbacks ~deliver:(fun _ pkt -> !sink (Engine.now engine) pkt) ()
+  in
+  let runtime = Runtime.build engine (Compiled.compile_exn faults_topology) callbacks in
+  let faults = Faults.arm engine runtime ~seed:fault_seed schedule in
+  sink := Faults.wrap_ack faults (fun t pkt -> acks := (t, pkt.Packet.seq) :: !acks);
+  for i = 0 to 79 do
+    send runtime engine ~at:(0.5 *. float_of_int i) ~seq:i ()
+  done;
+  Engine.run ~until:60.0 engine;
+  ( List.rev !acks,
+    Faults.dropped_acks faults,
+    Faults.delayed_acks faults,
+    Faults.duplicated_acks faults,
+    Faults.events faults )
+
+let replay_prop =
+  QCheck.Test.make ~name:"(seed, schedule) replays the run bit-exactly" ~count:20
+    QCheck.(
+      triple (int_bound 10_000)
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+        (float_bound_inclusive 1.0))
+    (fun (fault_seed, (drop_p, dup_p), loss_p) ->
+      let schedule =
+        [
+          { Faults.from_ = 5.0; until = 25.0; spec = Faults.Ack_drop { p = drop_p } };
+          {
+            Faults.from_ = 10.0;
+            until = 30.0;
+            spec = Faults.Ack_duplicate { p = dup_p; delay = 0.25 };
+          };
+          { Faults.from_ = 15.0; until = 35.0; spec = Faults.Ack_delay { seconds = 0.5 } };
+          { Faults.from_ = 8.0; until = 28.0; spec = Faults.Loss_burst { node = None; rate = loss_p } };
+          {
+            Faults.from_ = 12.0;
+            until = 32.0;
+            spec = Faults.Rate_flap { station = None; factor = 2.0 };
+          };
+        ]
+      in
+      faults_run ~fault_seed ~schedule = faults_run ~fault_seed ~schedule)
+
+let faults_suite =
+  [
+    ("rate flap at next service", `Quick, rate_flap_applies_at_next_service);
+    ("loss burst window", `Quick, loss_burst_window);
+    ("ack faults compose", `Quick, ack_faults_compose);
+    ("ack drop eats acks", `Quick, ack_drop_eats_acks);
+    ("fault validation", `Quick, fault_validation);
+    QCheck_alcotest.to_alcotest replay_prop;
+  ]
+
+let suite = suite @ faults_suite

@@ -226,3 +226,59 @@ let extension_suite =
   ]
 
 let suite = suite @ extension_suite
+
+(* --- ext-faults: misspecification + recovery --- *)
+
+let faults_rate_flap_acceptance () =
+  (* The PR's acceptance criterion, verbatim: under the unmodeled
+     link-rate flap with the default seed, the recovering sender's
+     rejection streak stays bounded by the ladder's [reseed_after] AND
+     its post-fault throughput strictly beats the no-recovery baseline. *)
+  let scenario = E.Ext_faults.run_rate_flap () in
+  let streak_bounded, throughput_improved = E.Ext_faults.rate_flap_acceptance scenario in
+  Alcotest.(check bool) "rejection streak bounded by reseed_after" true streak_bounded;
+  Alcotest.(check bool) "recovery beats no-recovery post-fault" true throughput_improved;
+  let recovery = E.Ext_faults.(find_run scenario With_recovery) in
+  let baseline = E.Ext_faults.(find_run scenario No_recovery) in
+  Alcotest.(check bool) "recovery reseeded at least once" true
+    (recovery.E.Ext_faults.reseeds >= 1);
+  Alcotest.(check bool) "baseline never reseeds" true (baseline.E.Ext_faults.reseeds = 0);
+  Alcotest.(check bool) "baseline streak unbounded" true
+    (baseline.E.Ext_faults.max_streak > scenario.E.Ext_faults.reseed_after);
+  match recovery.E.Ext_faults.rehealed_at with
+  | None -> Alcotest.fail "recovering sender never re-healed"
+  | Some t ->
+    Alcotest.(check bool) "re-healed after the onset" true (t >= scenario.E.Ext_faults.onset)
+
+let faults_oracle_bounds_recovery () =
+  (* The oracle (reseed installs the exact post-fault truth) is the upper
+     bound: blind recovery cannot beat it on post-fault throughput. *)
+  let scenario = E.Ext_faults.run_rate_flap () in
+  let recovery = E.Ext_faults.(find_run scenario With_recovery) in
+  let oracle = E.Ext_faults.(find_run scenario Oracle) in
+  Alcotest.(check bool) "oracle at least as good" true
+    (oracle.E.Ext_faults.post_throughput >= recovery.E.Ext_faults.post_throughput -. 1e-9)
+
+let faults_all_scenarios_bound_streaks () =
+  (* Across every fault class, the ladder keeps the recovering sender's
+     rejection streak within its bound while reseeds remain. *)
+  let scenarios = E.Ext_faults.run_all ~duration:80.0 () in
+  Alcotest.(check int) "four fault classes" 4 (List.length scenarios);
+  List.iter
+    (fun s ->
+      let r = E.Ext_faults.(find_run s With_recovery) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: recovery streak %d <= %d" s.E.Ext_faults.name
+           r.E.Ext_faults.max_streak s.E.Ext_faults.reseed_after)
+        true
+        (r.E.Ext_faults.max_streak <= s.E.Ext_faults.reseed_after))
+    scenarios
+
+let faults_suite =
+  [
+    ("faults rate-flap acceptance", `Slow, faults_rate_flap_acceptance);
+    ("faults oracle bounds recovery", `Slow, faults_oracle_bounds_recovery);
+    ("faults all scenarios bound streaks", `Slow, faults_all_scenarios_bound_streaks);
+  ]
+
+let suite = suite @ faults_suite

@@ -413,3 +413,130 @@ let particle_suite =
   ]
 
 let suite = suite @ particle_suite
+
+(* --- Reseed, likelihood floor, degeneracy monitor --- *)
+
+let reseed_replaces_and_anchors () =
+  let belief = Belief.create (small_family ()) in
+  (* Collapse the posterior onto (12000, 0), then advance to 10. *)
+  let belief, _ =
+    Belief.update belief ~sends:[ send ~at:0.0 ~seq:0 ]
+      ~acks:[ { Belief.seq = 0; time = 1.0 } ]
+      ~now:1.0 ()
+  in
+  let belief = Belief.advance belief ~sends:[] ~now:10.0 () in
+  let fresh = [ seed_of { rate = 6_000.0; fill = 0 } 1.0; seed_of { rate = 24_000.0; fill = 0 } 3.0 ] in
+  let belief = Belief.reseed belief ~seeds:fresh ~now:10.0 () in
+  Alcotest.(check int) "old posterior replaced" 2 (Belief.size belief);
+  Alcotest.(check (float 1e-9)) "anchored at now" 10.0 (Belief.now belief);
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 (Belief.posterior belief) in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 total;
+  (* The anchoring is behavioral, not just bookkeeping: a fresh 24k
+     hypothesis must predict service of a send at 10 exactly as it would
+     have at time 0 - delivery at 10.5 - and survive that observation. *)
+  let belief, status =
+    Belief.update belief ~sends:[ send ~at:10.0 ~seq:1 ]
+      ~acks:[ { Belief.seq = 1; time = 10.5 } ]
+      ~now:10.5 ()
+  in
+  Alcotest.(check bool) "consistent after reseed" true (status = Belief.Consistent);
+  let best, mass = Belief.map_estimate belief in
+  Alcotest.(check (float 0.0)) "fresh rate identified" 24_000.0 best.rate;
+  Alcotest.(check (float 1e-9)) "certain" 1.0 mass
+
+let reseed_keep_splits_mass () =
+  let belief = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let fresh = [ seed_of { rate = 6_000.0; fill = 0 } 1.0 ] in
+  let belief = Belief.reseed belief ~seeds:fresh ~keep:0.25 ~now:0.0 () in
+  let posterior = List.map (fun ((p : params), w) -> (p.rate, w)) (Belief.posterior belief) in
+  Alcotest.(check (float 1e-9)) "kept mass" 0.25 (List.assoc 12_000.0 posterior);
+  Alcotest.(check (float 1e-9)) "fresh mass" 0.75 (List.assoc 6_000.0 posterior)
+
+let reseed_raises () =
+  let belief = Belief.create [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let belief = Belief.advance belief ~sends:[] ~now:5.0 () in
+  let fresh = [ seed_of { rate = 6_000.0; fill = 0 } 1.0 ] in
+  Alcotest.check_raises "keep out of range"
+    (Invalid_argument "Belief.reseed: keep must be in [0, 1)") (fun () ->
+      ignore (Belief.reseed belief ~seeds:fresh ~keep:1.0 ~now:5.0 ()));
+  Alcotest.check_raises "now in the past"
+    (Invalid_argument "Belief.reseed: now is before the belief's time") (fun () ->
+      ignore (Belief.reseed belief ~seeds:fresh ~now:1.0 ()));
+  Alcotest.check_raises "no positive-weight seed"
+    (Invalid_argument "Belief.reseed: no fresh seeds with positive weight") (fun () ->
+      ignore (Belief.reseed belief ~seeds:[ seed_of { rate = 6_000.0; fill = 0 } 0.0 ] ~now:5.0 ()))
+
+let ll_floor_survives_impossible_ack () =
+  (* Same impossible observation as all_rejected_falls_back, but with a
+     likelihood floor the hypothesis is dented, not removed. *)
+  let seeds = [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let belief = Belief.create ~ll_floor:0.01 seeds in
+  let belief, status =
+    Belief.update belief ~sends:[ send ~at:0.0 ~seq:0 ]
+      ~acks:[ { Belief.seq = 0; time = 0.123 } ]
+      ~now:0.2 ()
+  in
+  Alcotest.(check bool) "floored, not rejected" true (status = Belief.Consistent);
+  Alcotest.(check int) "hypothesis survives" 1 (Belief.size belief)
+
+let ll_floor_still_discriminates () =
+  (* With a floor, consistent hypotheses must still dominate violating
+     ones after normalization. *)
+  let seeds = [ seed_of { rate = 6_000.0; fill = 0 } 1.0; seed_of { rate = 12_000.0; fill = 0 } 1.0 ] in
+  let belief = Belief.create ~ll_floor:0.01 seeds in
+  let belief, status =
+    Belief.update belief ~sends:[ send ~at:0.0 ~seq:0 ]
+      ~acks:[ { Belief.seq = 0; time = 1.0 } ]
+      ~now:1.0 ()
+  in
+  Alcotest.(check bool) "consistent" true (status = Belief.Consistent);
+  let best, mass = Belief.map_estimate belief in
+  Alcotest.(check (float 0.0)) "truth on top" 12_000.0 best.rate;
+  Alcotest.(check bool) "dominates the floored one" true (mass > 0.95)
+
+let ll_floor_validation () =
+  Alcotest.check_raises "floor must be in (0, 1)"
+    (Invalid_argument "Belief.create: ll_floor must be in (0, 1)") (fun () ->
+      ignore (Belief.create ~ll_floor:1.0 [ seed_of { rate = 12_000.0; fill = 0 } 1.0 ]))
+
+module Degeneracy = Utc_inference.Degeneracy
+
+let degeneracy_streaks () =
+  let monitor = Degeneracy.create () in
+  let belief = Belief.create (small_family ()) in
+  ignore (Degeneracy.observe monitor belief Belief.All_rejected);
+  ignore (Degeneracy.observe monitor belief Belief.All_rejected);
+  Alcotest.(check int) "streak counts" 2 (Degeneracy.streak monitor);
+  let signals = Degeneracy.observe monitor belief Belief.All_rejected in
+  Alcotest.(check bool) "limit reached -> signal" true
+    (List.mem Degeneracy.Rejection_streak signals);
+  ignore (Degeneracy.observe monitor belief Belief.Consistent);
+  Alcotest.(check int) "consistent clears" 0 (Degeneracy.streak monitor);
+  Alcotest.(check int) "worst preserved" 3 (Degeneracy.worst_streak monitor);
+  Degeneracy.reset monitor;
+  Alcotest.(check int) "reset keeps high-water mark" 3 (Degeneracy.worst_streak monitor)
+
+let degeneracy_probes () =
+  let belief = Belief.create (small_family ()) in
+  Alcotest.(check (float 1e-9)) "uniform top weight" 0.25 (Degeneracy.top_weight belief);
+  Alcotest.(check (float 1e-9)) "uniform ess ratio" 1.0 (Degeneracy.ess_ratio belief);
+  let belief, _ =
+    Belief.update belief ~sends:[ send ~at:0.0 ~seq:0 ]
+      ~acks:[ { Belief.seq = 0; time = 1.0 } ]
+      ~now:1.0 ()
+  in
+  Alcotest.(check (float 1e-9)) "collapsed top weight" 1.0 (Degeneracy.top_weight belief)
+
+let robustness_suite =
+  [
+    ("reseed replaces and anchors", `Quick, reseed_replaces_and_anchors);
+    ("reseed keep splits mass", `Quick, reseed_keep_splits_mass);
+    ("reseed raises", `Quick, reseed_raises);
+    ("ll_floor survives impossible ack", `Quick, ll_floor_survives_impossible_ack);
+    ("ll_floor still discriminates", `Quick, ll_floor_still_discriminates);
+    ("ll_floor validation", `Quick, ll_floor_validation);
+    ("degeneracy streaks", `Quick, degeneracy_streaks);
+    ("degeneracy probes", `Quick, degeneracy_probes);
+  ]
+
+let suite = suite @ robustness_suite
