@@ -94,6 +94,18 @@ let report_scale () =
   section "S3.2 - filter cost vs prior size";
   E.Scalability.pp_rows Format.std_formatter (E.Scalability.run ())
 
+let report_parallel () =
+  section "Parallel execution - domain pool vs serial, bit-equality attestation";
+  let domains =
+    match Utc_parallel.Pool.default_domains () with
+    | 1 -> 2 (* no UTC_DOMAINS: still exercise a real pool *)
+    | n -> n
+  in
+  let report = E.Par_bench.run ~domains () in
+  E.Par_bench.pp_report Format.std_formatter report;
+  E.Par_bench.write_json ~path:"BENCH_parallel.json" report;
+  Format.printf "wrote BENCH_parallel.json@."
+
 let report_families () =
   section "Extension - richer model families (S3.1 compositionality)";
   E.Families.pp_result Format.std_formatter (E.Families.two_hop ());
@@ -116,6 +128,7 @@ let reports =
     ("pomdp", report_pomdp);
     ("families", report_families);
     ("scale", report_scale);
+    ("parallel", report_parallel);
   ]
 
 (* --- Bechamel kernels --- *)

@@ -23,6 +23,21 @@ let out_file =
   let doc = "Also write gnuplot-ready rows ($(i,time value) per line) to this file." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
 
+let domains_opt =
+  let doc =
+    "Fan independent work across N domains (default: $(b,UTC_DOMAINS) or 1). The pool's \
+     partition/merge is deterministic, so every result is bit-identical to serial."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* [--domains] resizes the process-wide pool, so the belief filter and
+   planner inside each run pick it up too. *)
+let resolve_pool domains =
+  (match domains with
+  | Some n -> Utc_parallel.Pool.set_default_domains n
+  | None -> ());
+  Utc_parallel.Pool.default ()
+
 let dump_rows path rows =
   match path with
   | None -> ()
@@ -220,24 +235,23 @@ let sweep_cmd =
     let doc = "CSV output path." in
     Arg.(value & opt string "fig3_sweep.csv" & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run () duration alphas seeds csv =
+  let run () duration alphas seeds domains csv =
+    let pool = resolve_pool domains in
+    let cases = List.concat_map (fun seed -> List.map (fun alpha -> (seed, alpha)) alphas) seeds in
     let rows =
-      List.concat_map
-        (fun seed ->
-          List.map
-            (fun alpha ->
-              let r = E.Fig3_alpha.run_one ~seed ~duration ~alpha () in
-              let rates = E.Fig3_alpha.rates r in
-              [
-                float_of_int seed;
-                alpha;
-                rates.E.Fig3_alpha.cross_on_rate;
-                rates.E.Fig3_alpha.cross_off_rate;
-                float_of_int rates.E.Fig3_alpha.overflow_drops_caused;
-                float_of_int rates.E.Fig3_alpha.total_sent;
-              ])
-            alphas)
-        seeds
+      Utc_parallel.Pool.map_list pool
+        ~f:(fun (seed, alpha) ->
+          let r = E.Fig3_alpha.run_one ~seed ~duration ~alpha () in
+          let rates = E.Fig3_alpha.rates r in
+          [
+            float_of_int seed;
+            alpha;
+            rates.E.Fig3_alpha.cross_on_rate;
+            rates.E.Fig3_alpha.cross_off_rate;
+            float_of_int rates.E.Fig3_alpha.overflow_drops_caused;
+            float_of_int rates.E.Fig3_alpha.total_sent;
+          ])
+        cases
     in
     Utc_stats.Dataio.write_csv ~path:csv
       ~header:[ "seed"; "alpha"; "on_rate"; "off_rate"; "cross_drops"; "sent" ]
@@ -247,7 +261,34 @@ let sweep_cmd =
   let info =
     Cmd.info "sweep" ~doc:"Figure 3 sweep over alphas and seeds; writes a CSV of rates."
   in
-  Cmd.v info Term.(const run $ logs_term $ duration 300.0 $ alphas $ seeds_arg $ csv)
+  Cmd.v info Term.(const run $ logs_term $ duration 300.0 $ alphas $ seeds_arg $ domains_opt $ csv)
+
+(* --- parallel --- *)
+
+let parallel_cmd =
+  let out =
+    let doc = "Write the machine-readable report to this file." in
+    Arg.(value & opt string "BENCH_parallel.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run () seed duration domains out =
+    let domains =
+      match domains with
+      | Some n -> n
+      | None -> Utc_parallel.Pool.default_domains ()
+    in
+    let report = E.Par_bench.run ~domains ~seed ~duration () in
+    E.Par_bench.pp_report Format.std_formatter report;
+    E.Par_bench.write_json ~path:out report;
+    Format.printf "wrote %s@." out;
+    if not report.E.Par_bench.all_identical then exit 1
+  in
+  let info =
+    Cmd.info "parallel"
+      ~doc:
+        "Serial vs multi-domain wall time for the belief filter, planner and harness sweep, \
+         with a bit-equality attestation; exits non-zero on any divergence."
+  in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 30.0 $ domains_opt $ out)
 
 (* --- families --- *)
 
@@ -270,6 +311,6 @@ let main_cmd =
   Cmd.group info
     [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
       versus_cmd; versus2_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd; sweep_cmd;
-      scale_cmd ]
+      scale_cmd; parallel_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -83,8 +83,13 @@ let strategy_sends config ~now ~make_packet d ~t_end =
   in
   build 0 []
 
-let decide config ~belief ~now ~pending ~make_packet =
+let decide ?pool config ~belief ~now ~pending ~make_packet =
   validate config;
+  let pool =
+    match pool with
+    | Some pool -> pool
+    | None -> Utc_parallel.Pool.default ()
+  in
   let hyps = Belief.top belief ~n:config.top_hyps in
   let max_delay = List.fold_left Float.max 0.0 config.delays in
   if hyps = [] then (Sleep max_delay, [])
@@ -93,7 +98,10 @@ let decide config ~belief ~now ~pending ~make_packet =
     let t_end = now +. max_delay +. config.horizon in
     let candidates = Array.of_list config.delays in
     let n = Array.length candidates in
-    let net = Array.make n 0.0 in
+    (* Per-hypothesis rollouts are independent of each other; fan them
+       across the pool and reduce the per-candidate contributions in
+       hypothesis index order, so the accumulated expected utilities add
+       in exactly the serial order (bit-identical for any pool size). *)
     let price hyp =
       let weight = exp (hyp.Belief.logw -. z) in
       let plan_config = { (Forward.config_of hyp.Belief.prepared) with Forward.fork_gates = false } in
@@ -103,13 +111,16 @@ let decide config ~belief ~now ~pending ~make_packet =
         Utility.of_outcomes config.utility ~now outcomes
       in
       let baseline = utility_of pending in
-      Array.iteri
-        (fun i d ->
+      Array.map
+        (fun d ->
           let sends = pending @ strategy_sends config ~now ~make_packet d ~t_end in
-          net.(i) <- net.(i) +. (weight *. (utility_of sends -. baseline)))
+          weight *. (utility_of sends -. baseline))
         candidates
     in
-    List.iter price hyps;
+    let net = Array.make n 0.0 in
+    List.iter
+      (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution)
+      (Utc_parallel.Pool.map_list pool ~f:price hyps);
     let evaluations =
       Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates)
     in

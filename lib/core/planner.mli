@@ -55,6 +55,7 @@ type evaluation = {
 }
 
 val decide :
+  ?pool:Utc_parallel.Pool.t ->
   config ->
   belief:'p Utc_inference.Belief.t ->
   now:Utc_sim.Timebase.t ->
@@ -65,4 +66,9 @@ val decide :
     wakeup's earlier sends); [make_packet at] builds the next packet as if
     sent at [at]. Returns the decision and the per-candidate evaluations
     (for logging and the experiment traces). If no candidate nets positive
-    utility the decision is to sleep until the last candidate. *)
+    utility the decision is to sleep until the last candidate.
+
+    Per-hypothesis rollouts fan across [pool] (default:
+    {!Utc_parallel.Pool.default}) and merge in hypothesis index order;
+    the decision and evaluations are bit-identical for every pool
+    size. *)

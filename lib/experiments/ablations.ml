@@ -19,7 +19,7 @@ let row_of_harness ~label (result : Harness.result) =
   in
   {
     label;
-    sent = List.length result.Harness.sent;
+    sent = result.Harness.sent_count;
     delivered = List.length result.Harness.primary_deliveries;
     truth_mass;
     mean_hyps =

@@ -41,7 +41,7 @@ let rates run =
        else 0.0);
     cross_off_rate = (if off_window > 0.0 then float_of_int off_sends /. off_window else 0.0);
     overflow_drops_caused = result.Harness.tail_drops_cross;
-    total_sent = List.length result.Harness.sent;
+    total_sent = result.Harness.sent_count;
   }
 
 let pp_report ppf runs =

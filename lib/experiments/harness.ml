@@ -55,7 +55,9 @@ type sample = {
 type result = {
   config : config;
   sent : (Tb.t * int) list;
+  sent_count : int;
   acked : (Tb.t * int) list;
+  acked_count : int;
   primary_deliveries : (Tb.t * Packet.t) list;
   cross_deliveries : (Tb.t * Packet.t) list;
   tail_drops : int;
@@ -147,7 +149,9 @@ let run config =
   {
     config;
     sent = Utc_core.Isender.sent isender;
+    sent_count = Utc_core.Isender.sent_count isender;
     acked = Utc_core.Isender.acked isender;
+    acked_count = Utc_core.Isender.acked_count isender;
     primary_deliveries = Utc_core.Receiver.deliveries receiver Flow.Primary;
     cross_deliveries = Utc_core.Receiver.deliveries receiver Flow.Cross;
     tail_drops;
@@ -158,6 +162,14 @@ let run config =
     rejected_updates = Utc_core.Isender.rejected_updates isender;
     wall_seconds = Utc_sim.Wallclock.elapsed_since wall_start;
   }
+
+let run_many ?pool configs =
+  let pool =
+    match pool with
+    | Some pool -> pool
+    | None -> Utc_parallel.Pool.default ()
+  in
+  Utc_parallel.Pool.map_list pool ~f:run configs
 
 let throughput result ~flow ~since ~until =
   let deliveries =

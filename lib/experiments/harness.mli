@@ -44,7 +44,9 @@ type sample = {
 type result = {
   config : config;
   sent : (Utc_sim.Timebase.t * int) list;  (** Figure 3's series. *)
+  sent_count : int;  (** [List.length sent], carried O(1). *)
   acked : (Utc_sim.Timebase.t * int) list;
+  acked_count : int;  (** [List.length acked], carried O(1). *)
   primary_deliveries : (Utc_sim.Timebase.t * Utc_net.Packet.t) list;
   cross_deliveries : (Utc_sim.Timebase.t * Utc_net.Packet.t) list;
   tail_drops : int;
@@ -57,6 +59,13 @@ type result = {
 }
 
 val run : config -> result
+
+val run_many : ?pool:Utc_parallel.Pool.t -> config list -> result list
+(** Independent runs fanned across [pool] (default:
+    {!Utc_parallel.Pool.default}), results in input order. Each run owns
+    its engine and RNG (seeded from its config), so the results are
+    bit-identical to mapping {!run} serially — only [wall_seconds]
+    depends on the schedule. *)
 
 val throughput : result -> flow:Utc_net.Flow.t -> since:float -> until:float -> float
 (** Delivered bits per second within a window. *)

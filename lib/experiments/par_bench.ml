@@ -1,0 +1,181 @@
+module Pool = Utc_parallel.Pool
+module Belief = Utc_inference.Belief
+module Priors = Utc_inference.Priors
+module Forward = Utc_model.Forward
+module Mstate = Utc_model.Mstate
+module Wallclock = Utc_sim.Wallclock
+open Utc_net
+
+type entry = {
+  label : string;
+  work_items : int;
+  serial_seconds : float;
+  parallel_seconds : float;
+  speedup : float;
+  bit_identical : bool;
+}
+
+type report = {
+  domains : int;
+  recommended_domains : int;
+  entries : entry list;
+  all_identical : bool;
+}
+
+let timed f =
+  let start = Wallclock.now () in
+  let v = f () in
+  (v, Wallclock.elapsed_since start)
+
+let entry ~label ~work_items ~serial_seconds ~parallel_seconds ~bit_identical =
+  {
+    label;
+    work_items;
+    serial_seconds;
+    parallel_seconds;
+    speedup = (if parallel_seconds > 0.0 then serial_seconds /. parallel_seconds else 0.0);
+    bit_identical;
+  }
+
+(* Everything but the wall clock; the attestation compares the physics,
+   not the timing. *)
+let strip (r : Harness.result) = { r with Harness.wall_seconds = 0.0 }
+
+(* The (seed, alpha) sweep of the scalability workload: independent
+   whole-experiment runs fanned across the pool. *)
+let sweep_entry pool ~seed ~duration =
+  let prior = Scalability.thin 8 (Priors.paper_prior ()) in
+  let configs =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun alpha -> { Harness.default with seed; duration; alpha; prior })
+          [ 0.9; 1.0; 2.5; 5.0 ])
+      [ seed; seed + 1 ]
+  in
+  let serial, serial_seconds =
+    timed (fun () -> Pool.with_pool ~domains:1 (fun p -> Harness.run_many ~pool:p configs))
+  in
+  let parallel, parallel_seconds = timed (fun () -> Harness.run_many ~pool configs) in
+  let bit_identical =
+    List.length serial = List.length parallel
+    && List.for_all2 (fun a b -> strip a = strip b) serial parallel
+  in
+  entry ~label:"harness/scalability-sweep" ~work_items:(List.length configs) ~serial_seconds
+    ~parallel_seconds ~bit_identical
+
+let hyp_fingerprint (h : _ Belief.hypothesis) =
+  (h.Belief.params, Int64.bits_of_float h.Belief.logw, Mstate.canonical h.Belief.state)
+
+let belief_fingerprint belief = List.map hyp_fingerprint (Belief.support belief)
+
+let paper_window_sends =
+  List.map
+    (fun (at, seq) -> (at, Packet.make ~flow:Flow.Primary ~seq ~sent_at:at ()))
+    [ (0.5, 0); (2.0, 1); (3.5, 2) ]
+
+let paper_window_acks = [ { Belief.seq = 0; time = 1.5 }; { Belief.seq = 1; time = 3.0 } ]
+
+(* One conditioning window of the exact filter over the full paper prior:
+   the per-hypothesis Forward stepping and scoring fan across the pool. *)
+let belief_entry pool =
+  let make () =
+    Belief.create (Priors.seeds ~config:Forward.default_config (Priors.paper_prior ()))
+  in
+  let update pool belief =
+    Belief.update ~pool belief ~sends:paper_window_sends ~acks:paper_window_acks ~now:5.0 ()
+  in
+  let serial_belief = make () in
+  let (serial, serial_status), serial_seconds =
+    timed (fun () -> Pool.with_pool ~domains:1 (fun p -> update p serial_belief))
+  in
+  let parallel_belief = make () in
+  let (parallel, parallel_status), parallel_seconds =
+    timed (fun () -> update pool parallel_belief)
+  in
+  let bit_identical =
+    serial_status = parallel_status
+    && belief_fingerprint serial = belief_fingerprint parallel
+  in
+  entry ~label:"belief/update-paper-prior" ~work_items:(Belief.size serial) ~serial_seconds
+    ~parallel_seconds ~bit_identical
+
+(* Planner rollouts over the heaviest hypotheses of a converged-ish
+   belief. *)
+let planner_entry pool =
+  let belief =
+    Belief.create (Priors.seeds ~config:Forward.default_config (Priors.paper_prior ()))
+  in
+  let belief = Belief.advance ~pool belief ~sends:[] ~now:0.5 () in
+  let make_packet at = Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:at () in
+  let config =
+    { Utc_core.Planner.default_config with Utc_core.Planner.delays = Harness.paper_delays }
+  in
+  let decide pool =
+    Utc_core.Planner.decide ~pool config ~belief ~now:0.5 ~pending:[] ~make_packet
+  in
+  let serial, serial_seconds =
+    timed (fun () -> Pool.with_pool ~domains:1 (fun p -> decide p))
+  in
+  let parallel, parallel_seconds = timed (fun () -> decide pool) in
+  let bit_identical = serial = parallel in
+  entry ~label:"planner/decide-top-hyps"
+    ~work_items:(min (Belief.size belief) config.Utc_core.Planner.top_hyps)
+    ~serial_seconds ~parallel_seconds ~bit_identical
+
+let run ?domains ?(seed = 7) ?(duration = 30.0) () =
+  let domains =
+    match domains with
+    | Some n -> n
+    | None -> Pool.default_domains ()
+  in
+  Pool.with_pool ~domains (fun pool ->
+      let entries = [ belief_entry pool; planner_entry pool; sweep_entry pool ~seed ~duration ] in
+      {
+        domains;
+        recommended_domains = Pool.recommended ();
+        entries;
+        all_identical = List.for_all (fun e -> e.bit_identical) entries;
+      })
+
+let to_json report =
+  let buf = Buffer.create 1024 in
+  let entry e =
+    Printf.sprintf
+      "    {\"label\": \"%s\", \"work_items\": %d, \"serial_seconds\": %.6f, \
+       \"parallel_seconds\": %.6f, \"speedup\": %.3f, \"bit_identical\": %b}"
+      (String.escaped e.label) e.work_items e.serial_seconds e.parallel_seconds e.speedup
+      e.bit_identical
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"domains\": %d,\n" report.domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" report.recommended_domains);
+  Buffer.add_string buf (Printf.sprintf "  \"all_identical\": %b,\n" report.all_identical);
+  Buffer.add_string buf "  \"entries\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map entry report.entries));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path report =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json report))
+
+let pp_report ppf report =
+  Format.fprintf ppf
+    "Parallel execution: serial vs %d-domain wall time (machine recommends %d domains)@.@."
+    report.domains report.recommended_domains;
+  Format.fprintf ppf "%-28s %6s %10s %12s %8s %14s@." "workload" "items" "serial(s)"
+    "parallel(s)" "speedup" "bit-identical";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-28s %6d %10.3f %12.3f %8.2f %14s@." e.label e.work_items
+        e.serial_seconds e.parallel_seconds e.speedup
+        (if e.bit_identical then "EXACT" else "MISMATCH"))
+    report.entries;
+  Format.fprintf ppf "@.attestation: %s@."
+    (if report.all_identical then
+       "every pooled result is bit-identical to its serial counterpart"
+     else "BIT-EQUALITY VIOLATION - pooled results diverged from serial")

@@ -1,0 +1,42 @@
+(** Serial-vs-parallel benchmark with a bit-equality attestation.
+
+    Times the three pool-backed layers — one {!Utc_inference.Belief}
+    conditioning window over the full paper prior, one
+    {!Utc_core.Planner.decide} over the heaviest hypotheses, and a
+    (seed, α) sweep of whole {!Harness} runs — serially and on an
+    [N]-domain pool, and checks the pooled results are bit-identical to
+    the serial ones (everything except wall time). The report feeds
+    [BENCH_parallel.json] (CI artifact) and the EXPERIMENTS.md speedup
+    table.
+
+    Speedup is hardware-relative: on a single-core container it is ~1
+    even though the partitioning is perfect, which is why
+    [recommended_domains] (the machine's core inventory) is part of the
+    record. Bit-equality must hold everywhere. *)
+
+type entry = {
+  label : string;
+  work_items : int;  (** Independent units fanned across the pool. *)
+  serial_seconds : float;
+  parallel_seconds : float;
+  speedup : float;  (** [serial_seconds /. parallel_seconds]. *)
+  bit_identical : bool;
+}
+
+type report = {
+  domains : int;
+  recommended_domains : int;
+  entries : entry list;
+  all_identical : bool;
+}
+
+val run : ?domains:int -> ?seed:int -> ?duration:float -> unit -> report
+(** [domains] defaults to {!Utc_parallel.Pool.default_domains} (the
+    [UTC_DOMAINS] environment); [seed] (default 7) and [duration]
+    (default 30 s) shape the harness sweep. *)
+
+val to_json : report -> string
+
+val write_json : path:string -> report -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -33,7 +33,7 @@ let row_of ~policy ~prior (result : Harness.result) =
     cap = result.Harness.config.Harness.max_hyps;
     policy;
     wall_seconds = result.Harness.wall_seconds;
-    sent = List.length result.Harness.sent;
+    sent = result.Harness.sent_count;
     truth_mass;
   }
 

@@ -16,6 +16,14 @@ type row = {
   truth_mass : float;  (** Posterior mass on the true (c, r, p, cap) cell. *)
 }
 
+val thin :
+  int ->
+  (Utc_inference.Priors.fig2_params * float) list ->
+  (Utc_inference.Priors.fig2_params * float) list
+(** [thin fraction prior] keeps every [fraction]-th cell (and always the
+    true configuration), reweighted uniformly. [thin 1] is the identity.
+    Shared with {!Par_bench}, which sweeps the same thinned workload. *)
+
 val run : ?seed:int -> ?duration:float -> ?fractions:int list -> unit -> row list
 (** Thin the paper prior by each factor in [fractions] (default
     [32; 8; 2; 1], i.e. ~150 to ~4800 cells; the true cell is always

@@ -163,7 +163,21 @@ let cap t hyps =
     | `Resample rng -> systematic_resample rng ~n:t.max_hyps hyps
   end
 
-let step t ~sends ~acks ~now ~now_prio ~condition =
+(* First [n] elements and the rest, without re-allocating past [n]. *)
+let take_drop n items =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] items
+
+let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
+  let pool =
+    match pool with
+    | Some pool -> pool
+    | None -> Utc_parallel.Pool.default ()
+  in
   let expand hyp =
     let offset = t.obs_offset hyp.params in
     let outcomes = Forward.run ?until_prio:now_prio hyp.prepared hyp.state ~sends ~until:now in
@@ -210,22 +224,41 @@ let step t ~sends ~acks ~now ~now_prio ~condition =
     | Some existing ->
       Hashtbl.replace table key { existing with logw = Logw.logsumexp [ existing.logw; h.logw ] }
   in
-  List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps;
+  (* Hypotheses are independent — each owns its state and the only shared
+     input is the read-only prepared model — so [expand] fans across the
+     pool. The merge ([absorb]) stays serial and in index order, which
+     makes the posterior bit-identical to the serial path for any domain
+     count. Fanning window by window keeps the compaction incremental:
+     only one window's forks are materialized at a time. *)
+  (if Utc_parallel.Pool.domains pool <= 1 then
+     List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps
+   else begin
+     let window = Utc_parallel.Pool.domains pool * 8 in
+     let rec windows = function
+       | [] -> ()
+       | hyps ->
+         let batch, rest = take_drop window hyps in
+         List.iter (List.iter absorb) (Utc_parallel.Pool.map_list pool ~f:expand batch);
+         windows rest
+     in
+     windows t.hyps
+   end);
   let hyps = List.rev_map (fun key -> Hashtbl.find table key) !order in
   let hyps = prune ~min_weight:t.min_weight hyps in
   let hyps = normalize_hyps hyps in
   let hyps = normalize_hyps (cap t hyps) in
   { t with hyps = sort_heaviest hyps; now }
 
-let update t ~sends ~acks ~now ?now_prio () =
-  let conditioned = step t ~sends ~acks ~now ~now_prio ~condition:true in
+let update ?pool t ~sends ~acks ~now ?now_prio () =
+  let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
   if conditioned.hyps <> [] then (conditioned, Consistent)
   else begin
-    let unconditioned = step t ~sends ~acks:[] ~now ~now_prio ~condition:false in
+    let unconditioned = step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false in
     (unconditioned, All_rejected)
   end
 
-let advance t ~sends ~now ?now_prio () = step t ~sends ~acks:[] ~now ~now_prio ~condition:false
+let advance ?pool t ~sends ~now ?now_prio () =
+  step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false
 
 (* Shift a hypothesis state (typically Mstate.initial, at time 0) so its
    history restarts at [now]: its clock, every pending event, and any

@@ -1,0 +1,66 @@
+(** Fixed-size domain pool with deterministic partition/merge.
+
+    The simulator's reproducibility bar is bit-equality: running a belief
+    update or an experiment sweep on [n] domains must produce exactly the
+    serial answer. This pool guarantees it structurally — work items are
+    chunked by {e index} (contiguous ranges, never work-stealing order),
+    each result is written to its own slot, and the merge reads the slots
+    back in index order. Provided [f] is a pure function of its argument
+    (no shared mutable state, no domain identity — rule R7 of the
+    determinism linter), [map_list pool ~f xs = List.map f xs], bit for
+    bit, for every pool size.
+
+    A pool of [domains = n] spawns [n - 1] worker domains; the calling
+    domain runs chunks itself while waiting. [domains = 1] never spawns
+    and degrades to the plain serial map. Nested maps (an [f] that itself
+    maps on the same pool) are supported. *)
+
+type t
+
+val create : domains:int -> t
+(** [domains >= 1] is the total parallelism, counting the caller.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+
+val shutdown : t -> unit
+(** Joins the worker domains. The pool must not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map_list : ?chunk:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Deterministic parallel map: equals [List.map f] bit-for-bit for pure
+    [f], independent of [domains] and [chunk]. [chunk] (default
+    [ceil (n / domains)]) is the contiguous work-unit size; smaller chunks
+    balance uneven work at slightly more synchronization. If any [f]
+    raises, the exception of the lowest-indexed failing chunk is re-raised
+    after all chunks settle.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map_list] over arrays. *)
+
+(** {1 Default pool}
+
+    The process-wide pool, sized by the [UTC_DOMAINS] environment
+    variable (default 1, i.e. serial). [Belief.update] and
+    [Planner.decide] use it when no explicit pool is passed, so setting
+    [UTC_DOMAINS=4] parallelizes every inference step in the process —
+    with, by the contract above, bit-identical results. *)
+
+val default : unit -> t
+(** The shared pool, created on first use from [UTC_DOMAINS]. *)
+
+val set_default_domains : int -> unit
+(** Replace the default pool (the [--domains] CLI flag). Shuts the
+    previous default down.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val default_domains : unit -> int
+(** Size the default pool has, or would be created with. *)
+
+val recommended : unit -> int
+(** The runtime's recommended domain count for this machine (hardware
+    inventory, not a determinism input — report it, never branch on
+    it). *)

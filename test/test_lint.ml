@@ -130,6 +130,23 @@ let r6_detects () =
     ~allowlist:(L.Allowlist.of_string "R6 lib/stats/ascii_plot.ml\n")
     [ ("lib/stats/ascii_plot.ml", "let () = print_endline \"plot\"\n"); ("lib/stats/ascii_plot.mli", "") ]
 
+(* --- R7 no-bare-domains --- *)
+
+let r7_detects () =
+  check_rules "Domain.self outside lib/parallel" [ "R7" ]
+    [ ("bin/x.ml", "let id = Domain.self ()\n") ];
+  check_rules "Domain.spawn in lib" [ "R7" ]
+    [ ("lib/core/fanout.ml", "let d = Domain.spawn work\n"); ("lib/core/fanout.mli", "") ];
+  check_rules "Domain.DLS keyed state" [ "R7" ]
+    [ ("bench/x.ml", "let k = Domain.DLS.new_key (fun () -> 0)\n") ];
+  check_rules "lib/parallel is the sanctioned home" []
+    [ ("lib/parallel/pool.ml", "let d = Domain.spawn work\nlet n = Domain.recommended_domain_count ()\n");
+      ("lib/parallel/pool.mli", "") ];
+  check_rules "identifier containing Domain is fine" []
+    [ ("bin/x.ml", "let broadcast_Domain = 1\nlet d = My_domain.name\n") ];
+  check_rules "pool consumers are fine" []
+    [ ("bin/x.ml", "let xs = Utc_parallel.Pool.map_list pool ~f xs\n") ]
+
 (* --- allowlist semantics --- *)
 
 let allowlist_semantics () =
@@ -195,6 +212,7 @@ let suite =
     ("R4 inline suppression", `Quick, r4_suppression);
     ("R5 mli coverage", `Quick, r5_detects);
     ("R6 stdout confinement", `Quick, r6_detects);
+    ("R7 bare Domain confinement", `Quick, r7_detects);
     ("allowlist semantics", `Quick, allowlist_semantics);
     ("diagnostic format", `Quick, diagnostic_format);
     QCheck_alcotest.to_alcotest pheap_permutation_prop;

@@ -14,4 +14,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("pomdp", Test_pomdp.suite);
       ("lint", Test_lint.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -187,6 +187,33 @@ let check_r6 (src : Source.t) =
            bin/, bench/ and examples/"
           token)
 
+(* --- R7 no-bare-domains --- *)
+
+let in_parallel_lib path =
+  let prefix = "lib/parallel/" in
+  String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
+
+(* Like R1, flag [Domain] used as a module path ([Domain.self ()],
+   [Domain.spawn], [Domain.DLS.get], ...). Anything keyed on domain
+   identity — or spawning domains with an ad-hoc merge — can make results
+   depend on how work was scheduled; the pool's chunk-by-index partition
+   and ordered merge is the one sanctioned route. *)
+let check_r7 (src : Source.t) =
+  if in_parallel_lib src.Source.path then []
+  else begin
+    let code = src.Source.code in
+    Textscan.find_token code ~token:"Domain"
+    |> List.filter (fun pos ->
+           let after = Textscan.skip_ws code ~pos:(pos + 6) in
+           after < String.length code && code.[after] = '.')
+    |> List.map (fun pos ->
+           diag src ~pos ~rule:"R7"
+             ~message:
+               "bare Domain use outside lib/parallel: domain identity, spawning and sizing go \
+                through Utc_parallel.Pool, whose chunk-by-index partition and ordered merge \
+                keep results bit-identical to serial")
+  end
+
 let all =
   [
     {
@@ -230,6 +257,15 @@ let all =
       name = "no-stdout-in-lib";
       doc = "print_*/Printf.printf/Format.printf are confined to bin/, bench/ and examples/.";
       check = check_r6;
+    };
+    {
+      id = "R7";
+      name = "no-bare-domains";
+      doc =
+        "Domain.self/Domain.spawn and every other Domain primitive are forbidden outside \
+         lib/parallel; parallelism goes through Utc_parallel.Pool's deterministic \
+         partition/merge.";
+      check = check_r7;
     };
   ]
 

@@ -24,7 +24,12 @@
     - [R5] mli-coverage: every [lib/**/*.ml] has a sibling [.mli], so the
       deterministic surface of a module is explicit and reviewable.
     - [R6] no-stdout-in-lib: [print_*]/[Printf.printf]/[Format.printf]
-      inside [lib/]; libraries return data or take a formatter. *)
+      inside [lib/]; libraries return data or take a formatter.
+    - [R7] no-bare-domains: any use of the [Domain] module ([Domain.self],
+      [Domain.spawn], [Domain.DLS], ...) outside [lib/parallel].
+      Domain-identity-keyed behavior and ad-hoc spawning make results
+      depend on the schedule; parallelism goes through
+      [Utc_parallel.Pool]'s deterministic partition/merge. *)
 
 type t = {
   id : string;
@@ -34,8 +39,8 @@ type t = {
 }
 
 val all : t list
-(** All six rules, in id order. [R5]'s per-file check is a no-op; its real
-    check is {!mli_coverage}, which needs the whole file set. *)
+(** All seven rules, in id order. [R5]'s per-file check is a no-op; its
+    real check is {!mli_coverage}, which needs the whole file set. *)
 
 val find : string -> t option
 (** Look up a rule by id. *)
