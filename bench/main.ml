@@ -106,6 +106,13 @@ let report_parallel () =
   E.Par_bench.write_json ~path:"BENCH_parallel.json" report;
   Format.printf "wrote BENCH_parallel.json@."
 
+let report_obs () =
+  section "Observability - telemetry overhead, sink disabled vs enabled";
+  let report = E.Obs_bench.run () in
+  E.Obs_bench.pp_report Format.std_formatter report;
+  E.Obs_bench.write_json ~path:"BENCH_obs.json" report;
+  Format.printf "wrote BENCH_obs.json@."
+
 let report_families () =
   section "Extension - richer model families (S3.1 compositionality)";
   E.Families.pp_result Format.std_formatter (E.Families.two_hop ());
@@ -129,6 +136,7 @@ let reports =
     ("families", report_families);
     ("scale", report_scale);
     ("parallel", report_parallel);
+    ("obs", report_obs);
   ]
 
 (* --- Bechamel kernels --- *)

@@ -301,6 +301,153 @@ let families_cmd =
   let info = Cmd.info "families" ~doc:"Inference over two-hop and bursty-cross model families." in
   Cmd.v info Term.(const run $ logs_term $ seed $ duration 120.0)
 
+(* --- trace / metrics / obsbench (telemetry layer) --- *)
+
+let traceable =
+  [
+    ("fig1", `Fig1);
+    ("fig3", `Fig3);
+    ("paper", `Paper);
+    ("faults", `Faults);
+  ]
+
+let experiment_arg =
+  let doc =
+    Printf.sprintf "Experiment to run under telemetry: %s."
+      (String.concat ", " (List.map fst traceable))
+  in
+  Arg.(required & pos 0 (some (enum traceable)) None & info [] ~docv:"EXPERIMENT" ~doc)
+
+(* One deterministic run of the selected experiment; telemetry is read
+   back by the caller. *)
+let run_traced experiment ~seed ~duration =
+  match experiment with
+  | `Fig1 ->
+    ignore
+      (E.Fig1_bufferbloat.run { E.Fig1_bufferbloat.default with seed; duration }
+        : E.Fig1_bufferbloat.result)
+  | `Fig3 -> ignore (E.Fig3_alpha.run_one ~seed ~duration ~alpha:1.0 () : E.Fig3_alpha.run)
+  | `Paper -> ignore (E.Harness.run { E.Harness.default with seed; duration } : E.Harness.result)
+  | `Faults -> ignore (E.Ext_faults.run_rate_flap ~seed ~duration () : E.Ext_faults.scenario)
+
+let trace_cmd =
+  let trace_out =
+    let doc = "Write the exported trace to this file." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_format =
+    let doc = "Export format: $(b,jsonl) (one event per line) or $(b,chrome) (trace_event)." in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", Utc_obs.Export.Jsonl); ("chrome", Utc_obs.Export.Chrome) ])
+          Utc_obs.Export.Jsonl
+      & info [ "trace-format" ] ~docv:"FMT" ~doc)
+  in
+  let trace_capacity =
+    let doc = "Journal ring capacity (oldest events drop beyond it)." in
+    Arg.(value & opt int Utc_obs.Sink.default_capacity & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
+  let head =
+    let doc = "Also print the first N journal lines (always JSONL) to stdout." in
+    Arg.(value & opt int 0 & info [ "head" ] ~docv:"N" ~doc)
+  in
+  let series_out =
+    let doc =
+      "Write the belief-entropy/ESS/size and planner-margin series as gnuplot rows to this file."
+    in
+    Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE" ~doc)
+  in
+  let run () experiment seed duration domains fmt capacity head trace_out series_out =
+    ignore (resolve_pool domains : Utc_parallel.Pool.t);
+    Utc_obs.Metrics.enable ();
+    Utc_obs.Metrics.reset ();
+    Utc_obs.Sink.enable ~capacity ();
+    Utc_obs.Sink.reset ();
+    run_traced experiment ~seed ~duration;
+    Utc_obs.Sink.disable ();
+    Utc_obs.Metrics.disable ();
+    let events = Utc_obs.Sink.events () in
+    Format.printf "events=%d dropped=%d@." (List.length events) (Utc_obs.Sink.dropped ());
+    (match trace_out with
+    | Some path ->
+      Utc_obs.Export.write ~path (Utc_obs.Export.render fmt events);
+      Format.printf "wrote %s@." path
+    | None -> ());
+    let rec take n = function
+      | [] -> []
+      | _ :: _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    List.iter
+      (fun r -> Format.printf "%s@." (Utc_obs.Export.jsonl_line r))
+      (take head events);
+    dump_rows series_out (Utc_obs.Export.series events);
+    Utc_obs.Sink.reset ();
+    Utc_obs.Metrics.reset ()
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Run an experiment with the telemetry journal enabled and export the event trace \
+         (JSONL or Chrome trace_event). The trace is byte-identical for a fixed seed at any \
+         $(b,--domains) count."
+  in
+  Cmd.v info
+    Term.(
+      const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ domains_opt $ trace_format
+      $ trace_capacity $ head $ trace_out $ series_out)
+
+let metrics_cmd =
+  let json =
+    let doc =
+      "Print the snapshot as one-line JSON without profiling (wall-clock) fields — \
+       bit-deterministic for a fixed seed."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run () experiment seed duration domains json =
+    ignore (resolve_pool domains : Utc_parallel.Pool.t);
+    Utc_obs.Metrics.enable ();
+    Utc_obs.Metrics.reset ();
+    run_traced experiment ~seed ~duration;
+    Utc_obs.Metrics.disable ();
+    let snapshot = Utc_obs.Metrics.snapshot ~at:duration in
+    if json then Format.printf "%s@." (Utc_obs.Metrics.snapshot_json ~profile:false snapshot)
+    else Utc_obs.Metrics.pp_snapshot Format.std_formatter snapshot;
+    Utc_obs.Metrics.reset ()
+  in
+  let info =
+    Cmd.info "metrics"
+      ~doc:
+        "Run an experiment with the metrics registry enabled and print the counter / gauge / \
+         histogram / span snapshot."
+  in
+  Cmd.v info
+    Term.(const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ domains_opt $ json)
+
+let obsbench_cmd =
+  let out =
+    let doc = "Write the machine-readable report to this file." in
+    Arg.(value & opt string "BENCH_obs.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let repeats =
+    let doc = "Wall-time repetitions per configuration (best is kept)." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let run () seed duration repeats out =
+    let report = E.Obs_bench.run ~seed ~duration ~repeats () in
+    E.Obs_bench.pp_report Format.std_formatter report;
+    E.Obs_bench.write_json ~path:out report;
+    Format.printf "wrote %s@." out
+  in
+  let info =
+    Cmd.info "obsbench"
+      ~doc:
+        "Measure the telemetry layer's overhead: enabled vs disabled wall time, plus the \
+         per-call cost of the disabled recording guard."
+  in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 60.0 $ repeats $ out)
+
 let main_cmd =
   let info =
     Cmd.info "utc" ~version:"1.0.0"
@@ -311,6 +458,6 @@ let main_cmd =
   Cmd.group info
     [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
       versus_cmd; versus2_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd; sweep_cmd;
-      scale_cmd; parallel_cmd ]
+      scale_cmd; parallel_cmd; trace_cmd; metrics_cmd; obsbench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

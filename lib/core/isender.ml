@@ -108,12 +108,20 @@ let cancel_timer t =
     Engine.cancel handle;
     t.timer <- None
 
+let sends_c = Utc_obs.Metrics.counter "core.isender.sends"
+let acks_c = Utc_obs.Metrics.counter "core.isender.acks"
+let wakeups_c = Utc_obs.Metrics.counter "core.isender.wakeups"
+
 let transmit t now =
   let pkt = Packet.make ~bits:t.config.bits ~flow:t.config.flow ~seq:t.next_seq ~sent_at:now () in
   t.next_seq <- t.next_seq + 1;
   t.pending_sends <- (now, pkt) :: t.pending_sends;
   t.sent <- (now, pkt.Packet.seq) :: t.sent;
   t.sent_n <- t.sent_n + 1;
+  Utc_obs.Metrics.incr sends_c;
+  Utc_obs.Sink.record ~at:now
+    (Utc_obs.Event.Packet_send
+       { flow = Flow.to_string pkt.Packet.flow; seq = pkt.Packet.seq; bits = pkt.Packet.bits });
   Log.debug (fun m -> m "t=%a send seq=%d" Tb.pp now pkt.Packet.seq);
   t.inject pkt
 
@@ -130,7 +138,7 @@ let drive_recovery t now status =
       | Belief.Consistent -> Recovery.Accepted { top_weight = Degeneracy.top_weight t.belief }
     in
     let before = Recovery.phase t.ladder in
-    let ladder, action = Recovery.step rc t.ladder event in
+    let ladder, action = Recovery.step ~at:now rc t.ladder event in
     t.ladder <- ladder;
     (match action with
     | Recovery.No_action -> ()
@@ -169,6 +177,7 @@ let rec wakeup t () =
   let now = Engine.now t.engine in
   t.wakeup_at <- None;
   cancel_timer t;
+  Utc_obs.Metrics.incr wakeups_c;
   (* Job 1: filter the belief with everything seen since the last wakeup. *)
   let sends = List.rev t.pending_sends in
   let acks_all = List.rev t.pending_acks in
@@ -262,6 +271,9 @@ let on_ack t pkt =
     t.pending_acks <- { Belief.seq = pkt.Packet.seq; time = now } :: t.pending_acks;
     t.acked <- (now, pkt.Packet.seq) :: t.acked;
     t.acked_n <- t.acked_n + 1;
+    Utc_obs.Metrics.incr acks_c;
+    Utc_obs.Sink.record ~at:now
+      (Utc_obs.Event.Packet_ack { flow = Flow.to_string pkt.Packet.flow; seq = pkt.Packet.seq });
     (* Batch all same-instant ACKs into one wakeup, after every network
        event of this instant. *)
     match t.wakeup_at with

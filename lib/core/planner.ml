@@ -83,8 +83,33 @@ let strategy_sends config ~now ~make_packet d ~t_end =
   in
   build 0 []
 
+let decisions_c = Utc_obs.Metrics.counter "core.planner.decisions"
+
+(* Serial telemetry, after the pooled pricing has merged: the journal
+   entry is a function of the deterministic net-utility vector only. *)
+let record_decision ~now ~evaluations decision =
+  Utc_obs.Metrics.incr decisions_c;
+  if Utc_obs.Sink.enabled () then begin
+    let action, delay =
+      match decision with
+      | Send_now -> ("send_now", 0.0)
+      | Sleep d -> ("sleep", d)
+    in
+    let margin =
+      match
+        List.sort (fun a b -> Float.compare b a) (List.map (fun e -> e.net_utility) evaluations)
+      with
+      | best :: second :: _ -> best -. second
+      | [ _ ] | [] -> 0.0
+    in
+    Utc_obs.Sink.record ~at:now
+      (Utc_obs.Event.Planner_decide
+         { action; delay; margin; candidates = List.length evaluations })
+  end
+
 let decide ?pool config ~belief ~now ~pending ~make_packet =
   validate config;
+  Utc_obs.Metrics.span ~name:"planner.decide" (fun () ->
   let pool =
     match pool with
     | Some pool -> pool
@@ -92,7 +117,10 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
   in
   let hyps = Belief.top belief ~n:config.top_hyps in
   let max_delay = List.fold_left Float.max 0.0 config.delays in
-  if hyps = [] then (Sleep max_delay, [])
+  if hyps = [] then begin
+    record_decision ~now ~evaluations:[] (Sleep max_delay);
+    (Sleep max_delay, [])
+  end
   else begin
     let z = Utc_inference.Logw.logsumexp (List.map (fun h -> h.Belief.logw) hyps) in
     let t_end = now +. max_delay +. config.horizon in
@@ -125,13 +153,17 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
       Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates)
     in
     let best = Array.fold_left Float.max neg_infinity net in
-    if best <= 0.0 then (Sleep max_delay, evaluations)
-    else begin
-      (* Latest candidate within the tie band of the best. *)
-      let threshold = best -. (config.tie_epsilon *. best) in
-      let chosen = ref 0 in
-      Array.iteri (fun i _ -> if net.(i) >= threshold then chosen := i) candidates;
-      let d = candidates.(!chosen) in
-      if d = 0.0 then (Send_now, evaluations) else (Sleep d, evaluations)
-    end
-  end
+    let decision =
+      if best <= 0.0 then Sleep max_delay
+      else begin
+        (* Latest candidate within the tie band of the best. *)
+        let threshold = best -. (config.tie_epsilon *. best) in
+        let chosen = ref 0 in
+        Array.iteri (fun i _ -> if net.(i) >= threshold then chosen := i) candidates;
+        let d = candidates.(!chosen) in
+        if d = 0.0 then Send_now else Sleep d
+      end
+    in
+    record_decision ~now ~evaluations decision;
+    (decision, evaluations)
+  end)

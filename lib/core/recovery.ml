@@ -84,8 +84,24 @@ let reseed_allowed config t =
   | None -> true
   | Some n -> t.reseeds < n
 
-let step config t event =
-  match event with
+let transitions_c = Utc_obs.Metrics.counter "core.recovery.transitions"
+
+(* Journal a phase change. [step] stays pure; callers that know the
+   sim-time opt in with [~at] and the event is a function of the
+   transition alone. *)
+let record_transition ~at ~from_ ~to_ ~reseeds =
+  Utc_obs.Metrics.incr transitions_c;
+  Utc_obs.Sink.record ~at
+    (Utc_obs.Event.Recovery_transition
+       {
+         from_ = Format.asprintf "%a" pp_phase from_;
+         to_ = Format.asprintf "%a" pp_phase to_;
+         reseeds;
+       })
+
+let step ?at config t event =
+  let result =
+    match event with
   | Rejected ->
     let streak = t.streak + 1 in
     if streak >= config.reseed_after && reseed_allowed config t then begin
@@ -132,6 +148,12 @@ let step config t event =
           },
           No_action )
       else ({ t with streak = 0; calm; interval }, No_action))
+  in
+  (match at with
+  | Some at when not (phase_equal t.phase (fst result).phase) ->
+    record_transition ~at ~from_:t.phase ~to_:(fst result).phase ~reseeds:(fst result).reseeds
+  | Some _ | None -> ());
+  result
 
 let phase t = t.phase
 let streak t = t.streak

@@ -82,8 +82,11 @@ type t
 val initial : config -> t
 (** @raise Invalid_argument on an out-of-range configuration. *)
 
-val step : config -> t -> event -> t * action
-(** Pure: returns the successor state and the action to take. *)
+val step : ?at:float -> config -> t -> event -> t * action
+(** Pure: returns the successor state and the action to take. With
+    [?at] (the current sim-time) a phase change is additionally
+    journaled as a [Recovery_transition] telemetry event — the returned
+    state is identical either way. *)
 
 val phase : t -> phase
 

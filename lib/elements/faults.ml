@@ -96,12 +96,23 @@ let validate compiled schedule =
   in
   pairs schedule
 
+let injections_c = Utc_obs.Metrics.counter "elements.faults.injections"
+
 let record t text =
   t.events <- (Engine.now t.engine, text) :: t.events
+
+(* Fault windows toggle from engine events (serial), so journaling here
+   is deterministic. *)
+let record_fault t spec ~active =
+  if active then Utc_obs.Metrics.incr injections_c;
+  Utc_obs.Sink.record
+    ~at:(Engine.now t.engine)
+    (Utc_obs.Event.Fault { fault = describe spec; active })
 
 let apply t f =
   let compiled = Runtime.compiled t.runtime in
   record t (describe f.spec ^ " on");
+  record_fault t f.spec ~active:true;
   match f.spec with
   | Rate_flap { station; factor } ->
     let id = Option.value station ~default:(first_station compiled) in
@@ -120,6 +131,7 @@ let apply t f =
 let revert t f =
   let compiled = Runtime.compiled t.runtime in
   record t (describe f.spec ^ " off");
+  record_fault t f.spec ~active:false;
   match f.spec with
   | Rate_flap { station; _ } ->
     Runtime.set_rate_override t.runtime

@@ -60,6 +60,33 @@ type t = {
 let effective_rate t id rate_bps = Option.value t.rate_overrides.(id) ~default:rate_bps
 let effective_loss t id rate = Option.value t.loss_overrides.(id) ~default:rate
 
+let drops_c = Utc_obs.Metrics.counter "elements.runtime.drops"
+
+let queue_bits_h =
+  Utc_obs.Metrics.histogram "elements.runtime.queue_bits"
+    ~buckets:[ 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ]
+
+(* All ground-truth drops funnel through here: the callback the
+   experiment installed, plus telemetry. The runtime executes inside the
+   (serial) engine loop, so recording keeps the journal deterministic. *)
+let drop t ~node_id ~reason pkt =
+  Utc_obs.Metrics.incr drops_c;
+  if Utc_obs.Sink.enabled () then
+    Utc_obs.Sink.record
+      ~at:(Engine.now t.engine)
+      (Utc_obs.Event.Packet_drop
+         {
+           node = string_of_int node_id;
+           reason = Format.asprintf "%a" pp_drop_reason reason;
+           flow = Flow.to_string pkt.Packet.flow;
+           seq = pkt.Packet.seq;
+         });
+  t.cb.on_drop ~node_id ~reason pkt
+
+let note_queue t ~node_id ~bits ~packets =
+  Utc_obs.Metrics.observe queue_bits_h (float_of_int bits);
+  t.cb.on_queue ~node_id ~bits ~packets
+
 (* Packet arrivals are processed synchronously: an event at time t whose
    consequence is an arrival elsewhere at the same t continues inline, so
    the canonical order of Evprio only has to arbitrate between events that
@@ -76,7 +103,7 @@ let rec arrive t link pkt =
       ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
     | Loss { rate; next } ->
       if Rng.bernoulli t.rngs.(id) ~p:(effective_loss t id rate) then
-        t.cb.on_drop ~node_id:id ~reason:Stochastic_loss pkt
+        drop t ~node_id:id ~reason:Stochastic_loss pkt
       else arrive t next pkt
     | Jitter { seconds; probability; next } ->
       if Rng.bernoulli t.rngs.(id) ~p:probability then begin
@@ -86,7 +113,7 @@ let rec arrive t link pkt =
       else arrive t next pkt
     | Gate { kind = _; next } -> (
       match t.states.(id) with
-      | SGate g -> if g.connected then arrive t next pkt else t.cb.on_drop ~node_id:id ~reason:Gate_closed pkt
+      | SGate g -> if g.connected then arrive t next pkt else drop t ~node_id:id ~reason:Gate_closed pkt
       | SStation _ | SEither _ | SMultipath _ | SStateless -> assert false)
     | Either { first; second; _ } -> (
       match t.states.(id) with
@@ -122,9 +149,9 @@ and station_arrive t id capacity_bits rate_bps next pkt =
       if fits then begin
         Queue.push pkt s.queue;
         s.queued_bits <- s.queued_bits + pkt.Packet.bits;
-        t.cb.on_queue ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue)
+        note_queue t ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue)
       end
-      else t.cb.on_drop ~node_id:id ~reason:Tail_drop pkt
+      else drop t ~node_id:id ~reason:Tail_drop pkt
     end
   | SGate _ | SEither _ | SMultipath _ | SStateless -> assert false
 
@@ -143,7 +170,7 @@ and start_service t id s rate_bps next pkt =
       | None -> ()
       | Some head ->
         s.queued_bits <- s.queued_bits - head.Packet.bits;
-        t.cb.on_queue ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue);
+        note_queue t ~node_id:id ~bits:s.queued_bits ~packets:(Queue.length s.queue);
         start_service t id s rate_bps next head
     in
     arrive t next pkt

@@ -72,6 +72,9 @@ type result = {
 let truth_cell (p : Priors.fig2_params) =
   (p.link_bps, p.pinger_pps, p.loss_rate, p.buffer_bits)
 
+let entropy_g = Utc_obs.Metrics.gauge "harness.belief.entropy"
+let size_g = Utc_obs.Metrics.gauge "harness.belief.size"
+
 let run config =
   let wall_start = Utc_sim.Wallclock.now () in
   let forward_config =
@@ -114,6 +117,8 @@ let run config =
       let mass_where pred =
         List.fold_left (fun acc (p, w) -> if pred p then acc +. w else acc) 0.0 posterior
       in
+      Utc_obs.Metrics.set_gauge entropy_g (Belief.entropy belief);
+      Utc_obs.Metrics.set_gauge size_g (float_of_int (Belief.size belief));
       samples :=
         {
           at = now;
@@ -128,7 +133,9 @@ let run config =
         }
         :: !samples);
   Utc_core.Isender.start isender;
-  Utc_sim.Engine.run ~until:config.duration engine;
+  Utc_obs.Metrics.span ~name:"harness.run"
+    ~now:(fun () -> Utc_sim.Engine.now engine)
+    (fun () -> Utc_sim.Engine.run ~until:config.duration engine);
   let drops = Utc_core.Receiver.drops receiver in
   let tail_drops =
     List.length
@@ -163,6 +170,11 @@ let run config =
     wall_seconds = Utc_sim.Wallclock.elapsed_since wall_start;
   }
 
+(* Whole runs fan across the pool here, so per-run telemetry recorded
+   inside [run] interleaves across domains: counters still total
+   correctly (they are order-independent sums), but the journal's event
+   order is only deterministic for a single in-flight run. Callers that
+   need a deterministic journal trace one run at a time. *)
 let run_many ?pool configs =
   let pool =
     match pool with

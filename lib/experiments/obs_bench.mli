@@ -1,0 +1,36 @@
+(** Overhead accounting for the telemetry layer ([BENCH_obs.json]).
+
+    Runs the harness workload with telemetry off and on, measures the
+    per-call cost of the disabled recording guard in a tight loop, and
+    reports:
+
+    - [enabled_overhead_percent]: measured wall-time cost of recording
+      metrics plus the journal, relative to the telemetry-off run;
+    - [disabled_overhead_percent]: estimated cost of the instrumentation
+      left in hot paths when telemetry is off — the number of guarded
+      calls times the measured per-call guard cost, relative to the
+      telemetry-off wall time. This is the figure the <2% acceptance
+      bound applies to.
+
+    Leaves both the metrics registry and the sink disabled and reset. *)
+
+type report = {
+  seed : int;
+  duration : float;  (** simulated seconds per workload run *)
+  repeats : int;
+  disabled_seconds : float;  (** best-of-[repeats] wall, telemetry off *)
+  enabled_seconds : float;  (** wall with metrics + sink enabled *)
+  enabled_overhead_percent : float;
+  instrumentation_calls : int;  (** guarded recording calls in one run *)
+  events_recorded : int;
+  events_dropped : int;
+  noop_ns : float;  (** one disabled recording call, nanoseconds *)
+  disabled_overhead_percent : float;
+}
+
+val run : ?seed:int -> ?duration:float -> ?repeats:int -> unit -> report
+(** Defaults: seed 7, 60 simulated seconds, best of 3. *)
+
+val to_json : report -> string
+val write_json : path:string -> report -> unit
+val pp_report : Format.formatter -> report -> unit

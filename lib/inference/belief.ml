@@ -249,13 +249,76 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
   let hyps = normalize_hyps (cap t hyps) in
   { t with hyps = sort_heaviest hyps; now }
 
+let group_weights t ~key =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  let add h =
+    let k = key h in
+    match Hashtbl.find_opt table k with
+    | None ->
+      Hashtbl.replace table k (h.params, exp h.logw);
+      order := k :: !order
+    | Some (params, w) -> Hashtbl.replace table k (params, w +. exp h.logw)
+  in
+  List.iter add t.hyps;
+  let groups = List.rev_map (fun k -> Hashtbl.find table k) !order in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
+
+let posterior t =
+  group_weights t ~key:(fun h -> Marshal.to_string h.params [])
+
+let entropy t =
+  let weights = List.map snd (posterior t) in
+  Logw.entropy (List.map (fun w -> if w <= 0.0 then neg_infinity else log w) weights)
+
+let ess t =
+  let sum_sq =
+    List.fold_left
+      (fun acc h ->
+        let w = exp h.logw in
+        acc +. (w *. w))
+      0.0 t.hyps
+  in
+  if sum_sq <= 0.0 then 0.0 else 1.0 /. sum_sq
+
+(* Telemetry is recorded at the serial boundary of [update]/[reseed] —
+   never inside [expand], which fans across the pool — so the journal is
+   byte-identical at any domain count. Entropy and ESS are only computed
+   when the sink is live. *)
+let updates_c = Utc_obs.Metrics.counter "inference.belief.updates"
+let rejected_c = Utc_obs.Metrics.counter "inference.belief.all_rejected"
+let reseeds_c = Utc_obs.Metrics.counter "inference.belief.reseeds"
+
+let record_update t status =
+  Utc_obs.Metrics.incr updates_c;
+  (match status with
+  | All_rejected -> Utc_obs.Metrics.incr rejected_c
+  | Consistent -> ());
+  if Utc_obs.Sink.enabled () then
+    Utc_obs.Sink.record ~at:t.now
+      (Utc_obs.Event.Belief_update
+         {
+           size = List.length t.hyps;
+           entropy = entropy t;
+           ess = ess t;
+           status =
+             (match status with
+             | Consistent -> "consistent"
+             | All_rejected -> "all_rejected");
+         })
+
 let update ?pool t ~sends ~acks ~now ?now_prio () =
-  let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
-  if conditioned.hyps <> [] then (conditioned, Consistent)
-  else begin
-    let unconditioned = step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false in
-    (unconditioned, All_rejected)
-  end
+  Utc_obs.Metrics.span ~name:"belief.update" (fun () ->
+      let result =
+        let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
+        if conditioned.hyps <> [] then (conditioned, Consistent)
+        else begin
+          let unconditioned = step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false in
+          (unconditioned, All_rejected)
+        end
+      in
+      record_update (fst result) (snd result);
+      result)
 
 let advance ?pool t ~sends ~now ?now_prio () =
   step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false
@@ -325,7 +388,12 @@ let reseed t ~seeds ?(keep = 0.0) ~now () =
   in
   let fresh = List.map (fun h -> { h with logw = h.logw +. fresh_scale }) fresh in
   let hyps = normalize_hyps (kept @ fresh) in
-  { t with hyps = sort_heaviest hyps; now }
+  let result = { t with hyps = sort_heaviest hyps; now } in
+  Utc_obs.Metrics.incr reseeds_c;
+  Utc_obs.Sink.record ~at:now
+    (Utc_obs.Event.Belief_reseed
+       { size = List.length result.hyps; keep = List.length kept });
+  result
 
 let support t = t.hyps
 
@@ -339,24 +407,6 @@ let top t ~n =
 
 let size t = List.length t.hyps
 let now t = t.now
-
-let group_weights t ~key =
-  let table = Hashtbl.create 64 in
-  let order = ref [] in
-  let add h =
-    let k = key h in
-    match Hashtbl.find_opt table k with
-    | None ->
-      Hashtbl.replace table k (h.params, exp h.logw);
-      order := k :: !order
-    | Some (params, w) -> Hashtbl.replace table k (params, w +. exp h.logw)
-  in
-  List.iter add t.hyps;
-  let groups = List.rev_map (fun k -> Hashtbl.find table k) !order in
-  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
-
-let posterior t =
-  group_weights t ~key:(fun h -> Marshal.to_string h.params [])
 
 let marginal t ~project =
   let table = Hashtbl.create 64 in
@@ -380,7 +430,3 @@ let map_estimate t =
 
 let mean t ~value =
   List.fold_left (fun acc h -> acc +. (exp h.logw *. value h.params)) 0.0 t.hyps
-
-let entropy t =
-  let weights = List.map snd (posterior t) in
-  Logw.entropy (List.map (fun w -> if w <= 0.0 then neg_infinity else log w) weights)

@@ -153,3 +153,8 @@ val mean : 'p t -> value:('p -> float) -> float
 
 val entropy : 'p t -> float
 (** Entropy (nats) over parameter vectors. *)
+
+val ess : 'p t -> float
+(** Effective sample size of the hypothesis weights, [1 / Σ w²]: ranges
+    from 1 (all mass on one hypothesis) to {!size} (uniform). The
+    degeneracy monitor and the telemetry journal both report it. *)

@@ -39,6 +39,8 @@ let ess_ratio belief =
   let size = Belief.size belief in
   if size = 0 then 0.0 else Particle.ess belief /. float_of_int size
 
+let signals_c = Utc_obs.Metrics.counter "inference.degeneracy.signals"
+
 let observe t belief (status : Belief.update_status) =
   (match status with
   | Belief.All_rejected ->
@@ -56,6 +58,13 @@ let observe t belief (status : Belief.update_status) =
       Weight_concentration :: signals
     else signals
   in
+  Utc_obs.Metrics.add signals_c (List.length signals);
+  List.iter
+    (fun s ->
+      Utc_obs.Sink.record ~at:(Belief.now belief)
+        (Utc_obs.Event.Degeneracy_signal
+           { signal = Format.asprintf "%a" pp_signal s; streak = t.streak }))
+    signals;
   signals
 
 let streak t = t.streak

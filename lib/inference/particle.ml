@@ -2,10 +2,7 @@ let create ?tick ?min_weight ~particles ~seed seeds =
   Belief.create ?tick ?min_weight ~max_hyps:particles
     ~cap_policy:(`Resample (Utc_sim.Rng.create ~seed)) seeds
 
-let ess belief =
-  let weights = List.map (fun (h : _ Belief.hypothesis) -> exp h.Belief.logw) (Belief.support belief) in
-  let sum_sq = List.fold_left (fun acc w -> acc +. (w *. w)) 0.0 weights in
-  if sum_sq <= 0.0 then 0.0 else 1.0 /. sum_sq
+let ess = Belief.ess
 
 let degenerate ?(threshold = 0.5) belief =
   let size = Belief.size belief in

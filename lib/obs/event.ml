@@ -1,0 +1,49 @@
+type t =
+  | Packet_send of { flow : string; seq : int; bits : int }
+  | Packet_ack of { flow : string; seq : int }
+  | Packet_drop of { node : string; reason : string; flow : string; seq : int }
+  | Timeout of { seq : int }
+  | Belief_update of { size : int; entropy : float; ess : float; status : string }
+  | Belief_reseed of { size : int; keep : int }
+  | Degeneracy_signal of { signal : string; streak : int }
+  | Planner_decide of { action : string; delay : float; margin : float; candidates : int }
+  | Recovery_transition of { from_ : string; to_ : string; reseeds : int }
+  | Fault of { fault : string; active : bool }
+  | Mark of { name : string; value : float }
+
+let kind = function
+  | Packet_send _ -> "packet_send"
+  | Packet_ack _ -> "packet_ack"
+  | Packet_drop _ -> "packet_drop"
+  | Timeout _ -> "timeout"
+  | Belief_update _ -> "belief_update"
+  | Belief_reseed _ -> "belief_reseed"
+  | Degeneracy_signal _ -> "degeneracy_signal"
+  | Planner_decide _ -> "planner_decide"
+  | Recovery_transition _ -> "recovery_transition"
+  | Fault _ -> "fault"
+  | Mark _ -> "mark"
+
+let fields t : (string * Obs_json.value) list =
+  let open Obs_json in
+  match t with
+  | Packet_send { flow; seq; bits } -> [ ("flow", Str flow); ("seq", Int seq); ("bits", Int bits) ]
+  | Packet_ack { flow; seq } -> [ ("flow", Str flow); ("seq", Int seq) ]
+  | Packet_drop { node; reason; flow; seq } ->
+    [ ("node", Str node); ("reason", Str reason); ("flow", Str flow); ("seq", Int seq) ]
+  | Timeout { seq } -> [ ("seq", Int seq) ]
+  | Belief_update { size; entropy; ess; status } ->
+    [ ("size", Int size); ("entropy", Float entropy); ("ess", Float ess); ("status", Str status) ]
+  | Belief_reseed { size; keep } -> [ ("size", Int size); ("keep", Int keep) ]
+  | Degeneracy_signal { signal; streak } -> [ ("signal", Str signal); ("streak", Int streak) ]
+  | Planner_decide { action; delay; margin; candidates } ->
+    [
+      ("action", Str action);
+      ("delay", Float delay);
+      ("margin", Float margin);
+      ("candidates", Int candidates);
+    ]
+  | Recovery_transition { from_; to_; reseeds } ->
+    [ ("from", Str from_); ("to", Str to_); ("reseeds", Int reseeds) ]
+  | Fault { fault; active } -> [ ("fault", Str fault); ("active", Bool active) ]
+  | Mark { name; value } -> [ ("name", Str name); ("value", Float value) ]

@@ -1,0 +1,31 @@
+(** Typed telemetry events.
+
+    One constructor per instrumented behaviour in the simulator. Every
+    payload field is a plain value derived from simulation state — never
+    wall-clock time — so a recorded event stream is a pure function of
+    [(seed, schedule, domains)]. Extend the variant (and {!kind} /
+    {!fields}) when instrumenting new behaviour; downstream exporters are
+    schema-agnostic. *)
+
+type t =
+  | Packet_send of { flow : string; seq : int; bits : int }
+  | Packet_ack of { flow : string; seq : int }
+  | Packet_drop of { node : string; reason : string; flow : string; seq : int }
+  | Timeout of { seq : int }
+  | Belief_update of { size : int; entropy : float; ess : float; status : string }
+      (** [ess] is the effective sample size [1 / Σ w²] of the posterior. *)
+  | Belief_reseed of { size : int; keep : int }
+  | Degeneracy_signal of { signal : string; streak : int }
+  | Planner_decide of { action : string; delay : float; margin : float; candidates : int }
+      (** [margin] is the expected-utility gap between the chosen action
+          and the runner-up (0 when there is a single candidate). *)
+  | Recovery_transition of { from_ : string; to_ : string; reseeds : int }
+  | Fault of { fault : string; active : bool }
+  | Mark of { name : string; value : float }
+      (** Free-form scalar annotation for experiment-specific telemetry. *)
+
+val kind : t -> string
+(** Stable snake_case tag, used as the ["event"] field in exports. *)
+
+val fields : t -> (string * Obs_json.value) list
+(** Payload fields in a fixed, documented order. *)

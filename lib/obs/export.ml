@@ -1,0 +1,93 @@
+type format = Jsonl | Chrome
+
+let format_of_string = function
+  | "jsonl" -> Some Jsonl
+  | "chrome" -> Some Chrome
+  | _ -> None
+
+let format_to_string = function
+  | Jsonl -> "jsonl"
+  | Chrome -> "chrome"
+
+let jsonl_line (r : Sink.recorded) =
+  let open Obs_json in
+  obj
+    ([ ("t", Float r.at); ("n", Int r.seq); ("event", Str (Event.kind r.event)) ]
+    @ Event.fields r.event)
+
+let jsonl records =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (jsonl_line r);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+(* Chrome trace_event JSON-array format: instant events ("ph":"i") with
+   microsecond timestamps derived from sim-time, loadable in
+   chrome://tracing and Perfetto. pid/tid are synthetic (one "process"
+   for the simulation, one "thread" per event kind keeps lanes
+   readable). *)
+let chrome records =
+  let kinds = Hashtbl.create 16 in
+  let next_tid = ref 0 in
+  let tid_of kind =
+    match Hashtbl.find_opt kinds kind with
+    | Some tid -> tid
+    | None ->
+      incr next_tid;
+      Hashtbl.replace kinds kind !next_tid;
+      !next_tid
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i (r : Sink.recorded) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let kind = Event.kind r.event in
+      let open Obs_json in
+      Buffer.add_string buf
+        ("{" ^ quote "name" ^ ":" ^ quote kind ^ "," ^ quote "ph" ^ ":\"i\"," ^ quote "ts" ^ ":"
+       ^ number (r.at *. 1e6) ^ "," ^ quote "pid" ^ ":1," ^ quote "tid" ^ ":"
+        ^ string_of_int (tid_of kind) ^ "," ^ quote "s" ^ ":\"t\"," ^ quote "args" ^ ":"
+        ^ obj (("n", Int r.seq) :: Event.fields r.event)
+        ^ "}"))
+    records;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let render fmt records =
+  match fmt with
+  | Jsonl -> jsonl records
+  | Chrome -> chrome records
+
+let write ~path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* Time series usable by the figure pipeline: (sim-time, value) pairs in
+   journal order. *)
+let series records =
+  List.fold_left
+    (fun acc (r : Sink.recorded) ->
+      let put name v (entropy, ess, size, margin) =
+        match name with
+        | `Entropy -> ((r.at, v) :: entropy, ess, size, margin)
+        | `Ess -> (entropy, (r.at, v) :: ess, size, margin)
+        | `Size -> (entropy, ess, (r.at, v) :: size, margin)
+        | `Margin -> (entropy, ess, size, (r.at, v) :: margin)
+      in
+      match r.event with
+      | Event.Belief_update { size; entropy; ess; _ } ->
+        acc |> put `Entropy entropy |> put `Ess ess |> put `Size (float_of_int size)
+      | Event.Planner_decide { margin; _ } -> put `Margin margin acc
+      | _ -> acc)
+    ([], [], [], []) records
+  |> fun (entropy, ess, size, margin) ->
+  [
+    ("belief.entropy", List.rev entropy);
+    ("belief.ess", List.rev ess);
+    ("belief.size", List.rev size);
+    ("planner.margin", List.rev margin);
+  ]

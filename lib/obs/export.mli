@@ -1,0 +1,32 @@
+(** Journal exporters: JSONL, Chrome [trace_event], and figure-pipeline
+    time series.
+
+    All output is a pure function of the recorded events — byte-identical
+    for fixed [(seed, schedule)] at any domain count. *)
+
+type format = Jsonl | Chrome
+
+val format_of_string : string -> format option
+val format_to_string : format -> string
+
+val jsonl_line : Sink.recorded -> string
+(** One JSON object: [{"t":…,"n":…,"event":"…",…payload}] where ["n"]
+    is the journal sequence number. *)
+
+val jsonl : Sink.recorded list -> string
+(** One {!jsonl_line} per record, newline-terminated. *)
+
+val chrome : Sink.recorded list -> string
+(** Chrome [trace_event] JSON array of instant events: [ts] is sim-time
+    in microseconds, one synthetic [tid] lane per event kind. Loadable in
+    chrome://tracing or Perfetto. *)
+
+val render : format -> Sink.recorded list -> string
+
+val write : path:string -> string -> unit
+
+val series : Sink.recorded list -> (string * (float * float) list) list
+(** [(sim-time, value)] series extracted from the journal for the figure
+    pipeline: ["belief.entropy"], ["belief.ess"], ["belief.size"] (from
+    belief-update events) and ["planner.margin"] (from planner
+    decisions). *)

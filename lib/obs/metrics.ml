@@ -1,0 +1,266 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : float; mutable set : bool }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1; last is overflow *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+type span = {
+  s_name : string;
+  mutable calls : int;
+  mutable wall_seconds : float;
+  mutable sim_seconds : float;
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+(* The registration tables are only mutated when a handle is first
+   created (module-init time in practice); the lock makes late
+   registration from a pooled section safe. Value mutation is lock-free
+   by contract: instrumented sites live in serial sections, which is
+   also what makes snapshots deterministic. *)
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span) Hashtbl.t = Hashtbl.create 64
+
+let register table name make =
+  Mutex.lock lock;
+  let entry =
+    match Hashtbl.find_opt table name with
+    | Some entry -> entry
+    | None ->
+      let entry = make () in
+      Hashtbl.replace table name entry;
+      entry
+  in
+  Mutex.unlock lock;
+  entry
+
+let counter name = register counters name (fun () -> { c_name = name; count = 0 })
+let counter_name c = c.c_name
+let count c = c.count
+let add c n = if !enabled_flag then c.count <- c.count + n
+let incr c = add c 1
+
+let gauge name = register gauges name (fun () -> { g_name = name; value = 0.0; set = false })
+let gauge_name g = g.g_name
+let gauge_value g = if g.set then Some g.value else None
+
+let set_gauge g v =
+  if !enabled_flag then begin
+    g.value <- v;
+    g.set <- true
+  end
+
+let default_buckets = [ 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7 ]
+
+let histogram ?(buckets = default_buckets) name =
+  let sorted = List.sort_uniq Float.compare buckets in
+  if sorted = [] then invalid_arg "Metrics.histogram: no buckets";
+  register histograms name (fun () ->
+      let bounds = Array.of_list sorted in
+      {
+        h_name = name;
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        total = 0;
+        sum = 0.0;
+      })
+
+let histogram_name h = h.h_name
+
+(* O(#buckets) with a small fixed bucket list: constant in the number of
+   samples, which is the cost that matters on the hot paths. *)
+let observe h v =
+  if !enabled_flag then begin
+    let n = Array.length h.bounds in
+    let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum +. v
+  end
+
+let span_entry name =
+  register spans name (fun () ->
+      { s_name = name; calls = 0; wall_seconds = 0.0; sim_seconds = 0.0 })
+
+let span ?now ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let s = span_entry name in
+    let wall0 = Obs_clock.now () in
+    let sim0 =
+      match now with
+      | Some n -> n ()
+      | None -> 0.0
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        s.calls <- s.calls + 1;
+        s.wall_seconds <- s.wall_seconds +. Obs_clock.elapsed_since wall0;
+        match now with
+        | Some n -> s.sim_seconds <- s.sim_seconds +. (n () -. sim0)
+        | None -> ())
+      f
+  end
+
+let reset () =
+  Mutex.lock lock;
+  (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- 0.0;
+      g.set <- false)
+    gauges;
+  (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.total <- 0;
+      h.sum <- 0.0)
+    histograms;
+  (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
+  Hashtbl.iter
+    (fun _ s ->
+      s.calls <- 0;
+      s.wall_seconds <- 0.0;
+      s.sim_seconds <- 0.0)
+    spans;
+  Mutex.unlock lock
+
+(* --- snapshots --- *)
+
+type histogram_view = {
+  hv_bounds : float list;
+  hv_counts : int list;
+  hv_total : int;
+  hv_sum : float;
+}
+
+type span_view = {
+  sv_calls : int;
+  sv_sim_seconds : float;
+  sv_wall_seconds : float; (* profiling only; excluded from determinism diffs *)
+}
+
+type snapshot = {
+  at : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_view) list;
+  spans : (string * span_view) list;
+}
+
+let sorted_bindings table view =
+  Hashtbl.fold (fun name entry acc -> (name, view entry) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot ~at =
+  Mutex.lock lock;
+  let s =
+    {
+      at;
+      counters = sorted_bindings counters (fun c -> c.count);
+      gauges =
+        sorted_bindings gauges (fun g -> if g.set then Some g.value else None)
+        |> List.filter_map (fun (name, v) -> Option.map (fun v -> (name, v)) v);
+      histograms =
+        sorted_bindings histograms (fun h ->
+            {
+              hv_bounds = Array.to_list h.bounds;
+              hv_counts = Array.to_list h.counts;
+              hv_total = h.total;
+              hv_sum = h.sum;
+            });
+      spans =
+        sorted_bindings spans (fun s ->
+            { sv_calls = s.calls; sv_sim_seconds = s.sim_seconds; sv_wall_seconds = s.wall_seconds });
+    }
+  in
+  Mutex.unlock lock;
+  s
+
+let snapshot_json ?(profile = true) s =
+  let open Obs_json in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  Buffer.add_string buf (quote "at" ^ ":" ^ number s.at);
+  Buffer.add_string buf ("," ^ quote "counters" ^ ":{");
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun (n, c) -> quote n ^ ":" ^ string_of_int c) s.counters));
+  Buffer.add_string buf ("}," ^ quote "gauges" ^ ":{");
+  Buffer.add_string buf
+    (String.concat "," (List.map (fun (n, v) -> quote n ^ ":" ^ number v) s.gauges));
+  Buffer.add_string buf ("}," ^ quote "histograms" ^ ":{");
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (n, h) ->
+            quote n ^ ":"
+            ^ obj
+                [
+                  ("total", Int h.hv_total);
+                  ("sum", Float h.hv_sum);
+                  ("bounds", Str (String.concat ";" (List.map number h.hv_bounds)));
+                  ("counts", Str (String.concat ";" (List.map string_of_int h.hv_counts)));
+                ])
+          s.histograms));
+  Buffer.add_string buf ("}," ^ quote "spans" ^ ":{");
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map
+          (fun (n, sp) ->
+            let fields =
+              [ ("calls", Int sp.sv_calls); ("sim_seconds", Float sp.sv_sim_seconds) ]
+              @ if profile then [ ("wall_seconds", Float sp.sv_wall_seconds) ] else []
+            in
+            quote n ^ ":" ^ obj fields)
+          s.spans));
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "metrics @ t=%ss@." (Obs_json.number s.at);
+  if s.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (n, c) -> Format.fprintf ppf "  %-36s %12d@." n c) s.counters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter (fun (n, v) -> Format.fprintf ppf "  %-36s %12s@." n (Obs_json.number v)) s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (n, h) ->
+        Format.fprintf ppf "  %-36s total=%d sum=%s@." n h.hv_total (Obs_json.number h.hv_sum);
+        let bounds = h.hv_bounds @ [ Float.infinity ] in
+        List.iteri
+          (fun i c ->
+            if c > 0 then
+              Format.fprintf ppf "    <= %-12s %12d@." (Obs_json.number (List.nth bounds i)) c)
+          h.hv_counts)
+      s.histograms
+  end;
+  if s.spans <> [] then begin
+    Format.fprintf ppf "spans (wall is profiling-only, excluded from determinism diffs):@.";
+    List.iter
+      (fun (n, sp) ->
+        Format.fprintf ppf "  %-36s calls=%-8d sim=%-12s wall=%.6fs@." n sp.sv_calls
+          (Obs_json.number sp.sv_sim_seconds ^ "s")
+          sp.sv_wall_seconds)
+      s.spans
+  end

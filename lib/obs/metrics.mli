@@ -1,0 +1,107 @@
+(** Process-wide metrics registry: named counters, gauges, fixed-bucket
+    histograms, and wall/sim span profiling.
+
+    Handles are registered once (typically at module-init via a top-level
+    [let c = Metrics.counter "..."]) and recording through a handle is O(1)
+    and allocation-free. While the registry is disabled (the default) every
+    recording operation is a single flag test, so instrumentation left in
+    hot paths costs nothing measurable.
+
+    Determinism contract: counters, gauges and histograms must only be
+    mutated from serial sections of the simulator (never inside
+    [Utc_parallel.Pool] worker closures), so that {!snapshot} is a pure
+    function of [(seed, schedule)] regardless of the domain count. Span
+    [wall_seconds] is the one exception — it is profiling data, flagged as
+    such, and excluded from deterministic output via
+    [snapshot_json ~profile:false]. *)
+
+type counter
+type gauge
+type histogram
+type span
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+(** Registers (or retrieves) the counter with this name. *)
+
+val counter_name : counter -> string
+val count : counter -> int
+
+val incr : counter -> unit
+(** No-op while the registry is disabled (same for every recording op). *)
+
+val add : counter -> int -> unit
+
+(** {1 Gauges} *)
+
+val gauge : string -> gauge
+val gauge_name : gauge -> string
+
+val gauge_value : gauge -> float option
+(** [None] until the gauge has been set while enabled. *)
+
+val set_gauge : gauge -> float -> unit
+
+(** {1 Histograms} *)
+
+val default_buckets : float list
+(** Decades from [1e-3] to [1e7]. *)
+
+val histogram : ?buckets:float list -> string -> histogram
+(** Fixed upper-bound buckets (sorted, deduplicated) plus an implicit
+    overflow bucket. [buckets] is only consulted on first registration.
+    Raises [Invalid_argument] on an empty bucket list. *)
+
+val histogram_name : histogram -> string
+
+val observe : histogram -> float -> unit
+(** O(#buckets) — constant per sample. *)
+
+(** {1 Spans} *)
+
+val span : ?now:(unit -> float) -> name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] and accumulates its wall-clock duration (via
+    {!Obs_clock}) under [name]; with [?now] it also accumulates the
+    sim-time advanced during [f]. Re-entrant and exception-safe; when the
+    registry is disabled it is exactly [f ()]. *)
+
+(** {1 Snapshots} *)
+
+type histogram_view = {
+  hv_bounds : float list;
+  hv_counts : int list;  (** one per bound, plus trailing overflow *)
+  hv_total : int;
+  hv_sum : float;
+}
+
+type span_view = {
+  sv_calls : int;
+  sv_sim_seconds : float;
+  sv_wall_seconds : float;
+      (** profiling only; excluded from determinism diffs *)
+}
+
+type snapshot = {
+  at : float;  (** sim-time the snapshot is keyed by *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_view) list;
+  spans : (string * span_view) list;
+}
+
+val snapshot : at:float -> snapshot
+(** All entries sorted by name — deterministic for a deterministic run. *)
+
+val snapshot_json : ?profile:bool -> snapshot -> string
+(** One-line JSON. [~profile:false] drops every wall-clock field, making
+    the output bit-deterministic for fixed [(seed, schedule, domains)]. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val reset : unit -> unit
+(** Zeroes every registered entry (handles stay valid). *)

@@ -1,0 +1,2 @@
+let now () = Unix.gettimeofday ()
+let elapsed_since start = now () -. start

@@ -1,0 +1,42 @@
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+(* %.12g preserves enough digits that two runs formatting the same float
+   always produce the same text, while staying readable for the typical
+   sim-time and utility magnitudes. Non-finite floats (which valid
+   telemetry should never produce) are clamped so the output stays
+   parseable JSON. *)
+let number f =
+  match Float.classify_float f with
+  | FP_nan -> "null"
+  | FP_infinite -> if f > 0.0 then "1e308" else "-1e308"
+  | FP_zero | FP_subnormal | FP_normal -> Printf.sprintf "%.12g" f
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let render = function
+  | Int i -> string_of_int i
+  | Float f -> number f
+  | Bool b -> if b then "true" else "false"
+  | Str s -> quote s
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> quote k ^ ":" ^ render v) fields) ^ "}"

@@ -1,0 +1,60 @@
+type recorded = { at : float; seq : int; event : Event.t }
+
+type t = {
+  mutable capacity : int;
+  queue : recorded Queue.t;
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 65_536
+
+let sink = { capacity = default_capacity; queue = Queue.create (); next_seq = 0; dropped = 0 }
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+(* Serialises concurrent recording attempts. By the determinism contract
+   instrumented sites live in serial sections only, so in a correct build
+   this lock is uncontended — it exists to keep an accidental pooled
+   record from corrupting the queue rather than to make one valid. *)
+let lock = Mutex.create ()
+
+let reset () =
+  Mutex.lock lock;
+  Queue.clear sink.queue;
+  sink.next_seq <- 0;
+  sink.dropped <- 0;
+  Mutex.unlock lock
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Sink.enable: capacity must be positive";
+  Mutex.lock lock;
+  sink.capacity <- capacity;
+  Mutex.unlock lock;
+  enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let record ~at event =
+  if !enabled_flag then begin
+    Mutex.lock lock;
+    let seq = sink.next_seq in
+    sink.next_seq <- seq + 1;
+    if Queue.length sink.queue >= sink.capacity then begin
+      ignore (Queue.pop sink.queue);
+      sink.dropped <- sink.dropped + 1
+    end;
+    Queue.push { at; seq; event } sink.queue;
+    Mutex.unlock lock
+  end
+
+let events () =
+  Mutex.lock lock;
+  let es = List.of_seq (Queue.to_seq sink.queue) in
+  Mutex.unlock lock;
+  es
+
+let length () = Queue.length sink.queue
+let dropped () = sink.dropped
+let capacity () = sink.capacity

@@ -1,0 +1,42 @@
+(** Bounded in-memory journal of telemetry events.
+
+    One process-wide journal: instrumentation sites call {!record} with
+    the current sim-time; the harness or CLI enables the sink around a
+    run and exports the result via {!Export}. While disabled (the
+    default) {!record} is a single flag test, so instrumented hot paths
+    stay free.
+
+    Events are kept in recording order with a monotonically increasing
+    sequence number. When the journal is full the oldest event is
+    discarded and {!dropped} counts it, so memory stays bounded on long
+    runs while recent history survives.
+
+    Determinism: entries carry sim-time only, and by contract {!record}
+    is called from serial sections exclusively, so the journal — and any
+    export of it — is byte-identical for fixed [(seed, schedule)]
+    regardless of [UTC_DOMAINS]. *)
+
+type recorded = { at : float  (** sim-time *); seq : int; event : Event.t }
+
+val default_capacity : int
+(** 65_536 events. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Starts recording (journal contents are preserved; call {!reset}
+    first for a fresh run). Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clears the journal and resets the sequence counter and drop count. *)
+
+val record : at:float -> Event.t -> unit
+(** No-op while disabled. Must only be called from serial sections. *)
+
+val events : unit -> recorded list
+(** Oldest first. *)
+
+val length : unit -> int
+val dropped : unit -> int
+val capacity : unit -> int

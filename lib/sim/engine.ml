@@ -4,6 +4,13 @@ type event = { handle : handle; thunk : unit -> unit }
 
 type t = { mutable clock : Timebase.t; queue : event Pheap.t; rng : Rng.t }
 
+(* Telemetry counters (no-ops while Utc_obs.Metrics is disabled). The
+   engine loop is strictly serial, so recording here keeps the metrics
+   deterministic at any domain count. *)
+let scheduled_c = Utc_obs.Metrics.counter "sim.engine.scheduled"
+let cancelled_c = Utc_obs.Metrics.counter "sim.engine.cancelled"
+let executed_c = Utc_obs.Metrics.counter "sim.engine.executed"
+
 let create ?(seed = 1) () = { clock = Timebase.zero; queue = Pheap.create (); rng = Rng.create ~seed }
 let now t = t.clock
 let rng t = t.rng
@@ -14,13 +21,16 @@ let schedule ?(prio = 0) t ~at thunk =
       (Format.asprintf "Engine.schedule: at=%a is before now=%a" Timebase.pp at Timebase.pp t.clock);
   let handle = { live = true } in
   Pheap.add ~prio t.queue ~time:at { handle; thunk };
+  Utc_obs.Metrics.incr scheduled_c;
   handle
 
 let schedule_after ?prio t ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule ?prio t ~at:(Timebase.add t.clock delay) thunk
 
-let cancel handle = handle.live <- false
+let cancel handle =
+  if handle.live then Utc_obs.Metrics.incr cancelled_c;
+  handle.live <- false
 let is_cancelled handle = not handle.live
 
 let step t =
@@ -31,6 +41,7 @@ let step t =
       if ev.handle.live then begin
         t.clock <- time;
         ev.handle.live <- false;
+        Utc_obs.Metrics.incr executed_c;
         ev.thunk ();
         true
       end

@@ -1,21 +1,74 @@
 type t = {
   name : string;
+  capacity : int option;
   mutable samples : (Timebase.t * float) list; (* newest first *)
+  mutable retained : int; (* length of [samples], kept incrementally *)
   mutable events : (Timebase.t * string * float) list; (* newest first *)
-  mutable length : int;
+  mutable events_retained : int;
+  mutable recorded : int; (* total samples ever recorded *)
+  mutable events_recorded : int;
 }
 
-let create ~name = { name; samples = []; events = []; length = 0 }
+let create ?capacity ~name () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  {
+    name;
+    capacity;
+    samples = [];
+    retained = 0;
+    events = [];
+    events_retained = 0;
+    recorded = 0;
+    events_recorded = 0;
+  }
+
 let name t = t.name
+let capacity t = t.capacity
+
+(* First [n] elements of a newest-first list. Ring-buffer truncation is
+   amortised: we let the retained list grow to 2*capacity, then cut it
+   back to capacity in one O(capacity) pass, so [record] stays O(1)
+   amortised. *)
+let take n xs =
+  let rec go acc n xs =
+    if n = 0 then List.rev acc
+    else
+      match xs with
+      | [] -> List.rev acc
+      | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n xs
 
 let record t ~time value =
   t.samples <- (time, value) :: t.samples;
-  t.length <- t.length + 1
+  t.retained <- t.retained + 1;
+  t.recorded <- t.recorded + 1;
+  match t.capacity with
+  | Some cap when t.retained >= 2 * cap ->
+    t.samples <- take cap t.samples;
+    t.retained <- cap
+  | _ -> ()
 
-let record_event t ~time ?(value = 1.0) tag = t.events <- (time, tag, value) :: t.events
-let samples t = List.rev t.samples
-let events t = List.rev t.events
-let length t = t.length
+let record_event t ~time ?(value = 1.0) tag =
+  t.events <- (time, tag, value) :: t.events;
+  t.events_retained <- t.events_retained + 1;
+  t.events_recorded <- t.events_recorded + 1;
+  match t.capacity with
+  | Some cap when t.events_retained >= 2 * cap ->
+    t.events <- take cap t.events;
+    t.events_retained <- cap
+  | _ -> ()
+
+(* Visible window: at most [capacity] newest entries (everything when
+   unbounded). *)
+let window t retained = match t.capacity with Some cap -> min retained cap | None -> retained
+let samples t = List.rev (take (window t t.retained) t.samples)
+let events t = List.rev (take (window t t.events_retained) t.events)
+let length t = window t t.retained
+let recorded t = t.recorded
+let dropped t = t.recorded - window t t.retained
 
 let last t =
   match t.samples with
@@ -28,8 +81,11 @@ let between t ~lo ~hi =
 
 let clear t =
   t.samples <- [];
+  t.retained <- 0;
   t.events <- [];
-  t.length <- 0
+  t.events_retained <- 0;
+  t.recorded <- 0;
+  t.events_recorded <- 0
 
 let pp_rows ppf t =
   let row (time, value) = Format.fprintf ppf "%.6f %.6f@\n" time value in

@@ -2,13 +2,23 @@
 
     Experiments record scalar samples (e.g. RTT, sequence numbers, queue
     occupancy) into named traces and dump them as [time value] rows, the
-    format every figure in the paper is plotted from. *)
+    format every figure in the paper is plotted from.
+
+    A trace is unbounded by default. With [?capacity] it behaves as a
+    ring buffer: only the newest [capacity] samples (and, independently,
+    the newest [capacity] tagged events) are retained, so long-running
+    experiments can keep a bounded recent window. Truncation is
+    amortised — [record] stays O(1). *)
 
 type t
 
-val create : name:string -> t
+val create : ?capacity:int -> name:string -> unit -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val name : t -> string
+
+val capacity : t -> int option
+(** [None] for an unbounded trace. *)
 
 val record : t -> time:Timebase.t -> float -> unit
 
@@ -16,19 +26,28 @@ val record_event : t -> time:Timebase.t -> ?value:float -> string -> unit
 (** Tagged point (e.g. ["drop"], ["timeout"]); [value] defaults to [1.]. *)
 
 val samples : t -> (Timebase.t * float) list
-(** All scalar samples in recording order. *)
+(** Retained scalar samples in recording order (the newest [capacity]
+    when bounded). *)
 
 val events : t -> (Timebase.t * string * float) list
-(** All tagged points in recording order. *)
+(** Retained tagged points in recording order. *)
 
 val length : t -> int
+(** Number of retained scalar samples. *)
+
+val recorded : t -> int
+(** Total scalar samples ever recorded, including any discarded by the
+    ring buffer. *)
+
+val dropped : t -> int
+(** [recorded t - length t]: scalar samples discarded by the ring. *)
 
 val last : t -> (Timebase.t * float) option
 
 val between : t -> lo:Timebase.t -> hi:Timebase.t -> (Timebase.t * float) list
-(** Samples with [lo <= time <= hi]. *)
+(** Retained samples with [lo <= time <= hi]. *)
 
 val clear : t -> unit
 
 val pp_rows : Format.formatter -> t -> unit
-(** One "[time value]" row per sample, gnuplot-ready. *)
+(** One "[time value]" row per retained sample, gnuplot-ready. *)

@@ -1,2 +1,2 @@
-let now () = Unix.gettimeofday ()
-let elapsed_since start = now () -. start
+let now () = Utc_obs.Obs_clock.now ()
+let elapsed_since start = Utc_obs.Obs_clock.elapsed_since start

@@ -3,8 +3,9 @@
     Simulated time is {!Timebase}; nothing inside the simulator may observe
     the host clock, or runs stop being pure functions of their seed. The
     one legitimate use of wall time is measuring how long an experiment or
-    benchmark took to execute, and this module is its single auditable
-    entry point — the determinism linter (rule R2) forbids
+    benchmark took to execute. This module delegates to
+    [Utc_obs.Obs_clock], the process's single raw clock reader — the
+    determinism linter (rule R2) forbids
     [Unix.gettimeofday]/[Unix.time]/[Sys.time] everywhere else in [lib/].
 
     Never feed these values into packet timestamps, event scheduling, RNG

@@ -92,6 +92,10 @@ let backlog_exhausted t =
   | None -> false
   | Some n -> t.snd_nxt >= n
 
+let sends_c = Utc_obs.Metrics.counter "tcp.sender.sends"
+let retransmissions_c = Utc_obs.Metrics.counter "tcp.sender.retransmissions"
+let timeouts_c = Utc_obs.Metrics.counter "tcp.sender.timeouts"
+
 let transmit t seq ~retransmission =
   let now = Engine.now t.engine in
   let () =
@@ -100,9 +104,16 @@ let transmit t seq ~retransmission =
     | Some seg -> seg.retransmitted <- true
   in
   t.sent_total <- t.sent_total + 1;
-  if retransmission then t.retransmissions <- t.retransmissions + 1;
+  if retransmission then begin
+    t.retransmissions <- t.retransmissions + 1;
+    Utc_obs.Metrics.incr retransmissions_c
+  end;
   t.sent_log <- (now, seq) :: t.sent_log;
   let pkt = Packet.make ~bits:t.config.bits ~flow:t.config.flow ~seq ~sent_at:now () in
+  Utc_obs.Metrics.incr sends_c;
+  Utc_obs.Sink.record ~at:now
+    (Utc_obs.Event.Packet_send
+       { flow = Flow.to_string t.config.flow; seq; bits = t.config.bits });
   t.inject pkt
 
 let cancel_timer t =
@@ -124,6 +135,8 @@ and on_timeout t =
   t.timer <- None;
   if t.snd_max - t.high_ack > 0 then begin
     t.timeouts <- t.timeouts + 1;
+    Utc_obs.Metrics.incr timeouts_c;
+    Utc_obs.Sink.record ~at:(Engine.now t.engine) (Utc_obs.Event.Timeout { seq = t.high_ack });
     Rto.on_timeout t.rto;
     t.cc.Cc.on_timeout ~now:(Engine.now t.engine);
     t.in_recovery <- false;
@@ -152,6 +165,8 @@ let on_ack t ack =
   let now = Engine.now t.engine in
   if ack > t.high_ack then begin
     let newly_acked = ack - t.high_ack in
+    Utc_obs.Sink.record ~at:now
+      (Utc_obs.Event.Packet_ack { flow = Flow.to_string t.config.flow; seq = ack });
     (* Karn: sample RTT only from never-retransmitted segments. *)
     let rtt_sample =
       match Hashtbl.find_opt t.segs (ack - 1) with

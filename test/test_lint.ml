@@ -130,6 +130,31 @@ let r6_detects () =
     ~allowlist:(L.Allowlist.of_string "R6 lib/stats/ascii_plot.ml\n")
     [ ("lib/stats/ascii_plot.ml", "let () = print_endline \"plot\"\n"); ("lib/stats/ascii_plot.mli", "") ]
 
+(* --- R8 no-raw-output --- *)
+
+let r8_detects () =
+  check_rules "printf in lib outside the presentation layers trips R6 and R8" [ "R6"; "R8" ]
+    [ ("lib/experiments/chatty.ml", "let () = Printf.printf \"%d\" 1\n");
+      ("lib/experiments/chatty.mli", "") ];
+  check_rules "process-global Logs configuration in lib" [ "R8"; "R8" ]
+    [ ("lib/core/logging.ml", "let () = Logs.set_reporter r\nlet () = Logs.set_level None\n");
+      ("lib/core/logging.mli", "") ];
+  check_rules "using the Logs API without configuring it is fine" []
+    [ ("lib/core/quiet.ml", "let warn () = Logs.warn (fun m -> m \"x\")\n");
+      ("lib/core/quiet.mli", "") ];
+  check_rules "bin and bench may print and configure Logs" []
+    [ ("bin/x.ml", "let () = Logs.set_reporter r\nlet () = print_endline \"hi\"\n");
+      ("bench/y.ml", "let () = Logs.set_level None\nlet () = Format.printf \"%d\" 1\n") ];
+  check_rules "lib/obs is exempt from R8 (R6 still applies in lib/)" [ "R6" ]
+    [ ("lib/obs/dbg.ml", "let () = print_endline \"hi\"\n"); ("lib/obs/dbg.mli", "") ]
+
+let r8_examples_allowlist () =
+  let files = [ ("examples/demo.ml", "let () = print_endline \"demo\"\n") ] in
+  check_rules "examples flagged without allowlist" [ "R8" ] files;
+  check_rules "examples subtree allowlisted" []
+    ~allowlist:(L.Allowlist.of_string "R8 examples/\n")
+    files
+
 (* --- R7 no-bare-domains --- *)
 
 let r7_detects () =
@@ -213,6 +238,8 @@ let suite =
     ("R5 mli coverage", `Quick, r5_detects);
     ("R6 stdout confinement", `Quick, r6_detects);
     ("R7 bare Domain confinement", `Quick, r7_detects);
+    ("R8 raw-output confinement", `Quick, r8_detects);
+    ("R8 examples allowlist", `Quick, r8_examples_allowlist);
     ("allowlist semantics", `Quick, allowlist_semantics);
     ("diagnostic format", `Quick, diagnostic_format);
     QCheck_alcotest.to_alcotest pheap_permutation_prop;

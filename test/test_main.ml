@@ -14,5 +14,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("pomdp", Test_pomdp.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

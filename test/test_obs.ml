@@ -1,0 +1,283 @@
+(* Tests for the deterministic telemetry layer (lib/obs) and the
+   ring-buffered Trace: registry semantics, journal bounds, exporters,
+   and the cross-domain byte-identity the determinism contract promises. *)
+
+module Metrics = Utc_obs.Metrics
+module Sink = Utc_obs.Sink
+module Event = Utc_obs.Event
+module Export = Utc_obs.Export
+module Trace = Utc_sim.Trace
+module Pool = Utc_parallel.Pool
+module Harness = Utc_experiments.Harness
+module Scalability = Utc_experiments.Scalability
+module Priors = Utc_inference.Priors
+
+(* Every test leaves the process-wide registry and journal disabled and
+   empty, so suites sharing the process see the seed behavior. *)
+let with_telemetry f =
+  Metrics.enable ();
+  Metrics.reset ();
+  Sink.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.disable ();
+      Metrics.reset ();
+      Sink.disable ();
+      Sink.reset ())
+    f
+
+(* --- metrics registry --- *)
+
+let counters_count_when_enabled () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "test.counter" in
+      Metrics.incr c;
+      Metrics.add c 4;
+      Alcotest.(check int) "incr + add" 5 (Metrics.count c);
+      Metrics.disable ();
+      Metrics.incr c;
+      Alcotest.(check int) "disabled incr is a no-op" 5 (Metrics.count c);
+      Metrics.enable ();
+      let again = Metrics.counter "test.counter" in
+      Metrics.incr again;
+      Alcotest.(check int) "same name is the same counter" 6 (Metrics.count c))
+
+let gauges_hold_last_value () =
+  with_telemetry (fun () ->
+      let g = Metrics.gauge "test.gauge" in
+      Alcotest.(check (option (float 0.0))) "unset" None (Metrics.gauge_value g);
+      Metrics.set_gauge g 2.5;
+      Metrics.set_gauge g 7.25;
+      Alcotest.(check (option (float 0.0))) "last write wins" (Some 7.25) (Metrics.gauge_value g))
+
+let histogram_buckets () =
+  with_telemetry (fun () ->
+      (* Unsorted with a duplicate: registration sorts and dedups. *)
+      let h = Metrics.histogram ~buckets:[ 100.0; 1.0; 10.0; 10.0 ] "test.histogram" in
+      List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0; 500.0; 500.0 ];
+      let snap = Metrics.snapshot ~at:0.0 in
+      match List.assoc_opt "test.histogram" snap.Metrics.histograms with
+      | None -> Alcotest.fail "histogram missing from snapshot"
+      | Some hv ->
+        Alcotest.(check (list (float 0.0))) "bounds sorted+deduped" [ 1.0; 10.0; 100.0 ]
+          hv.Metrics.hv_bounds;
+        Alcotest.(check (list int)) "per-bucket counts plus overflow" [ 1; 1; 1; 2 ]
+          hv.Metrics.hv_counts;
+        Alcotest.(check int) "total" 5 hv.Metrics.hv_total;
+        Alcotest.(check (float 1e-9)) "sum" 1055.5 hv.Metrics.hv_sum)
+
+let spans_accumulate () =
+  with_telemetry (fun () ->
+      let sim = ref 0.0 in
+      let out = Metrics.span ~now:(fun () -> !sim) ~name:"test.span" (fun () -> sim := 3.0; 42) in
+      Alcotest.(check int) "span returns f's result" 42 out;
+      ignore (Metrics.span ~now:(fun () -> !sim) ~name:"test.span" (fun () -> sim := 5.0));
+      let snap = Metrics.snapshot ~at:!sim in
+      match List.assoc_opt "test.span" snap.Metrics.spans with
+      | None -> Alcotest.fail "span missing from snapshot"
+      | Some sv ->
+        Alcotest.(check int) "two calls" 2 sv.Metrics.sv_calls;
+        Alcotest.(check (float 1e-9)) "sim seconds accumulate" 5.0 sv.Metrics.sv_sim_seconds)
+
+let snapshot_is_sorted_and_profile_free () =
+  with_telemetry (fun () ->
+      Metrics.incr (Metrics.counter "test.zz");
+      Metrics.incr (Metrics.counter "test.aa");
+      ignore (Metrics.span ~name:"test.span" (fun () -> ()));
+      let snap = Metrics.snapshot ~at:1.5 in
+      (* Instrumentation sites across the tree register at module init, so
+         the registry holds more than this test's entries; what matters is
+         the deterministic order. *)
+      let names = List.map fst snap.Metrics.counters in
+      Alcotest.(check (list string)) "counters sorted by name"
+        (List.sort String.compare names) names;
+      Alcotest.(check bool) "this test's counters are present" true
+        (List.mem "test.aa" names && List.mem "test.zz" names);
+      let json = Metrics.snapshot_json ~profile:false snap in
+      let contains needle hay =
+        let n = String.length needle in
+        let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "snapshot json carries the sim-time key" true
+        (contains "\"at\":1.5" json);
+      Alcotest.(check bool) "~profile:false drops wall-clock fields" false
+        (contains "wall" json))
+
+(* --- event sink --- *)
+
+let sink_records_in_order () =
+  with_telemetry (fun () ->
+      Sink.enable ();
+      Sink.record ~at:1.0 (Event.Mark { name = "a"; value = 1.0 });
+      Sink.record ~at:2.0 (Event.Mark { name = "b"; value = 2.0 });
+      Alcotest.(check int) "two events" 2 (Sink.length ());
+      (match Sink.events () with
+      | [ a; b ] ->
+        Alcotest.(check int) "sequence numbers" 0 a.Sink.seq;
+        Alcotest.(check int) "sequence numbers" 1 b.Sink.seq;
+        Alcotest.(check (float 0.0)) "oldest first" 1.0 a.Sink.at
+      | es -> Alcotest.failf "expected 2 events, got %d" (List.length es));
+      Sink.disable ();
+      Sink.record ~at:3.0 (Event.Mark { name = "c"; value = 3.0 });
+      Alcotest.(check int) "disabled record is a no-op" 2 (Sink.length ()))
+
+let sink_ring_drops_oldest () =
+  with_telemetry (fun () ->
+      Sink.enable ~capacity:4 ();
+      for i = 0 to 9 do
+        Sink.record ~at:(float_of_int i) (Event.Timeout { seq = i })
+      done;
+      Alcotest.(check int) "bounded length" 4 (Sink.length ());
+      Alcotest.(check int) "drop count" 6 (Sink.dropped ());
+      Alcotest.(check (list int)) "newest survive, sequence numbering global" [ 6; 7; 8; 9 ]
+        (List.map (fun (r : Sink.recorded) -> r.Sink.seq) (Sink.events ()));
+      Alcotest.check_raises "capacity must be positive"
+        (Invalid_argument "Sink.enable: capacity must be positive") (fun () ->
+          Sink.enable ~capacity:0 ()))
+
+(* --- exporters --- *)
+
+let jsonl_shape () =
+  let r = { Sink.at = 1.5; seq = 7; event = Event.Packet_send { flow = "primary"; seq = 3; bits = 8000 } } in
+  Alcotest.(check string) "jsonl line"
+    "{\"t\":1.5,\"n\":7,\"event\":\"packet_send\",\"flow\":\"primary\",\"seq\":3,\"bits\":8000}"
+    (Export.jsonl_line r);
+  Alcotest.(check string) "jsonl is newline-terminated" (Export.jsonl_line r ^ "\n")
+    (Export.jsonl [ r ])
+
+let chrome_shape () =
+  let records =
+    [
+      { Sink.at = 0.5; seq = 0; event = Event.Timeout { seq = 1 } };
+      { Sink.at = 1.0; seq = 1; event = Event.Packet_ack { flow = "primary"; seq = 1 } };
+      { Sink.at = 2.0; seq = 2; event = Event.Timeout { seq = 2 } };
+    ]
+  in
+  let out = Export.chrome records in
+  let contains needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "JSON array" true (out.[0] = '[');
+  Alcotest.(check bool) "instant events" true (contains "\"ph\":\"i\"" out);
+  Alcotest.(check bool) "microsecond timestamps" true (contains "\"ts\":500000" out);
+  Alcotest.(check bool) "one tid lane per kind" true
+    (contains "\"tid\":1" out && contains "\"tid\":2" out)
+
+let series_extraction () =
+  let records =
+    [
+      {
+        Sink.at = 1.0;
+        seq = 0;
+        event = Event.Belief_update { size = 10; entropy = 2.0; ess = 8.0; status = "consistent" };
+      };
+      { Sink.at = 1.5; seq = 1; event = Event.Timeout { seq = 4 } };
+      {
+        Sink.at = 2.0;
+        seq = 2;
+        event = Event.Planner_decide { action = "send_now"; delay = 0.0; margin = 0.5; candidates = 4 };
+      };
+    ]
+  in
+  let series = Export.series records in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "entropy series" [ (1.0, 2.0) ]
+    (List.assoc "belief.entropy" series);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "ess series" [ (1.0, 8.0) ]
+    (List.assoc "belief.ess" series);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "margin series" [ (2.0, 0.5) ]
+    (List.assoc "planner.margin" series)
+
+(* --- ring-buffered Trace --- *)
+
+let trace_ring_buffer () =
+  let t = Trace.create ~capacity:3 ~name:"ring" () in
+  Alcotest.(check (option int)) "capacity visible" (Some 3) (Trace.capacity t);
+  for i = 0 to 9 do
+    Trace.record t ~time:(float_of_int i) (float_of_int (10 * i))
+  done;
+  Alcotest.(check int) "length is bounded" 3 (Trace.length t);
+  Alcotest.(check int) "recorded counts everything" 10 (Trace.recorded t);
+  Alcotest.(check int) "dropped is the difference" 7 (Trace.dropped t);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "newest window in order"
+    [ (7.0, 70.0); (8.0, 80.0); (9.0, 90.0) ]
+    (Trace.samples t);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "last is newest" (Some (9.0, 90.0))
+    (Trace.last t);
+  Trace.record_event t ~time:0.5 "drop";
+  Alcotest.(check int) "events counted separately" 1 (List.length (Trace.events t));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ~name:"bad" ()))
+
+let trace_unbounded_default () =
+  let t = Trace.create ~name:"unbounded" () in
+  Alcotest.(check (option int)) "no capacity" None (Trace.capacity t);
+  for i = 0 to 99 do
+    Trace.record t ~time:(float_of_int i) 1.0
+  done;
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped t);
+  Alcotest.(check int) "all retained" 100 (Trace.length t)
+
+(* --- cross-domain byte-identity ---
+
+   The journal and the deterministic snapshot for a harness run must be
+   byte-identical whatever the default pool size, because every record
+   site sits in a serial section. This is the observability analogue of
+   test_parallel's golden fingerprints. *)
+
+let short_config seed =
+  {
+    Harness.default with
+    Harness.seed;
+    duration = 8.0;
+    prior = Scalability.thin 32 (Priors.paper_prior ());
+  }
+
+let journal_of_run domains config =
+  Pool.set_default_domains domains;
+  with_telemetry (fun () ->
+      Sink.enable ();
+      ignore (Harness.run config);
+      let journal = Export.jsonl (Sink.events ()) in
+      let metrics =
+        Metrics.snapshot_json ~profile:false
+          (Metrics.snapshot ~at:config.Harness.duration)
+      in
+      (journal, metrics))
+
+let journal_domain_invariance =
+  QCheck.Test.make ~name:"jsonl journal and metrics are pool-size invariant" ~count:2
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let config = short_config seed in
+      Fun.protect
+        ~finally:(fun () -> Pool.set_default_domains 1)
+        (fun () ->
+          let serial_journal, serial_metrics = journal_of_run 1 config in
+          let pooled_journal, pooled_metrics = journal_of_run 4 config in
+          if serial_journal <> pooled_journal then
+            QCheck.Test.fail_reportf "journal differs between 1 and 4 domains (seed %d)" seed;
+          if serial_metrics <> pooled_metrics then
+            QCheck.Test.fail_reportf
+              "metrics snapshot differs between 1 and 4 domains (seed %d)" seed;
+          serial_journal <> ""))
+
+let suite =
+  [
+    ("counters", `Quick, counters_count_when_enabled);
+    ("gauges", `Quick, gauges_hold_last_value);
+    ("histogram buckets", `Quick, histogram_buckets);
+    ("spans", `Quick, spans_accumulate);
+    ("snapshot sorted, profile excluded", `Quick, snapshot_is_sorted_and_profile_free);
+    ("sink order and disable", `Quick, sink_records_in_order);
+    ("sink ring buffer", `Quick, sink_ring_drops_oldest);
+    ("jsonl export", `Quick, jsonl_shape);
+    ("chrome export", `Quick, chrome_shape);
+    ("series extraction", `Quick, series_extraction);
+    ("trace ring buffer", `Quick, trace_ring_buffer);
+    ("trace unbounded default", `Quick, trace_unbounded_default);
+    QCheck_alcotest.to_alcotest ~long:false journal_domain_invariance;
+  ]

@@ -288,7 +288,7 @@ let fqueue_model_prop =
 (* --- Trace --- *)
 
 let trace_records () =
-  let t = Trace.create ~name:"rtt" in
+  let t = Trace.create ~name:"rtt" () in
   Trace.record t ~time:1.0 0.5;
   Trace.record t ~time:2.0 0.7;
   Trace.record_event t ~time:1.5 "drop";

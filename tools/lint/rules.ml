@@ -187,6 +187,34 @@ let check_r6 (src : Source.t) =
            bin/, bench/ and examples/"
           token)
 
+(* --- R8 no-raw-output --- *)
+
+let r8_allowed_prefixes = [ "bin/"; "bench/"; "lib/stats/"; "lib/obs/" ]
+
+let r8_tokens = stdout_tokens @ [ "Logs.set_reporter"; "Logs.set_level" ]
+
+(* Broader than R6: raw terminal output and process-global Logs
+   configuration are confined to the designated presentation layers
+   everywhere the linter scans (so also bench helpers, examples, ...),
+   not just lib/. Telemetry goes through Utc_obs; human-facing text
+   through a formatter the caller passes in. *)
+let check_r8 (src : Source.t) =
+  let path = src.Source.path in
+  let allowed =
+    List.exists
+      (fun prefix ->
+        String.length path >= String.length prefix
+        && String.sub path 0 (String.length prefix) = prefix)
+      r8_allowed_prefixes
+  in
+  if allowed then []
+  else
+    flag_tokens src ~rule:"R8" ~tokens:r8_tokens ~message:(fun token ->
+        Printf.sprintf
+          "%s is raw output/log configuration outside bin/, bench/, lib/stats/ and lib/obs/: \
+           record telemetry via Utc_obs or take a formatter"
+          token)
+
 (* --- R7 no-bare-domains --- *)
 
 let in_parallel_lib path =
@@ -266,6 +294,14 @@ let all =
          lib/parallel; parallelism goes through Utc_parallel.Pool's deterministic \
          partition/merge.";
       check = check_r7;
+    };
+    {
+      id = "R8";
+      name = "no-raw-output";
+      doc =
+        "print_*/Printf.printf/Format.printf and Logs.set_reporter/Logs.set_level are \
+         confined to bin/, bench/, lib/stats/ and lib/obs/.";
+      check = check_r8;
     };
   ]
 

@@ -29,7 +29,13 @@
       [Domain.spawn], [Domain.DLS], ...) outside [lib/parallel].
       Domain-identity-keyed behavior and ad-hoc spawning make results
       depend on the schedule; parallelism goes through
-      [Utc_parallel.Pool]'s deterministic partition/merge. *)
+      [Utc_parallel.Pool]'s deterministic partition/merge.
+    - [R8] no-raw-output: [print_*]/[Printf.printf]/[Format.printf] and
+      process-global [Logs] configuration ([Logs.set_reporter],
+      [Logs.set_level]) anywhere outside the presentation layers
+      [bin/], [bench/], [lib/stats/] and [lib/obs/].  Broader than [R6]:
+      telemetry is recorded through [Utc_obs]; human-facing text takes a
+      formatter from the caller. *)
 
 type t = {
   id : string;
@@ -39,7 +45,7 @@ type t = {
 }
 
 val all : t list
-(** All seven rules, in id order. [R5]'s per-file check is a no-op; its
+(** All eight rules, in id order. [R5]'s per-file check is a no-op; its
     real check is {!mli_coverage}, which needs the whole file set. *)
 
 val find : string -> t option

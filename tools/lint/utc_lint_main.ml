@@ -8,7 +8,7 @@ let usage () =
     "usage: utc_lint_main [--allowlist FILE] [--list-rules] [DIR-OR-FILE...]\n\
      \n\
      Scans every .ml/.mli under the given roots (default: lib bin bench\n\
-     examples) and reports violations of the determinism rules R1-R7.\n\
+     examples) and reports violations of the determinism rules R1-R8.\n\
      Suppress a finding inline with (* lint:allow <rule> -- reason *) or\n\
      with an allowlist entry (see tools/lint/lint.allow)."
 
