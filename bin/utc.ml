@@ -154,13 +154,32 @@ let aqm_cmd =
 
 (* --- versus --- *)
 
-let versus_cmd =
-  let run () seed duration =
-    Format.printf "Extension (S3.5 open question): ISender sharing a bottleneck with TCP@.@.";
-    E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_tcp ~seed ~duration ())
+let senders_opt =
+  let doc =
+    "Run the scaled many-sender contention workload instead: N Reno senders (1..256) share a \
+     bottleneck whose rate and buffer scale with N, with per-flow accounting in the \
+     $(b,versus.flow.*) metric families."
   in
-  let info = Cmd.info "versus" ~doc:"Extension: ISender vs TCP on one bottleneck." in
-  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0)
+  Arg.(value & opt int 0 & info [ "senders" ] ~docv:"N" ~doc)
+
+let versus_cmd =
+  let run () seed duration senders =
+    if senders > 0 then begin
+      Format.printf "Extension: %d Reno senders contending for one bottleneck@.@." senders;
+      E.Versus.pp_many Format.std_formatter (E.Versus.many_senders ~seed ~duration ~senders ())
+    end
+    else begin
+      Format.printf "Extension (S3.5 open question): ISender sharing a bottleneck with TCP@.@.";
+      E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_tcp ~seed ~duration ())
+    end
+  in
+  let info =
+    Cmd.info "versus"
+      ~doc:
+        "Extension: ISender vs TCP on one bottleneck; with $(b,--senders) N, a scaled \
+         many-sender Reno contention workload with per-flow metric families."
+  in
+  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0 $ senders_opt)
 
 (* --- versus2 --- *)
 
@@ -309,6 +328,8 @@ let traceable =
     ("fig3", `Fig3);
     ("paper", `Paper);
     ("faults", `Faults);
+    ("sweep", `Sweep);
+    ("versus", `Versus);
   ]
 
 let experiment_arg =
@@ -319,8 +340,11 @@ let experiment_arg =
   Arg.(required & pos 0 (some (enum traceable)) None & info [] ~docv:"EXPERIMENT" ~doc)
 
 (* One deterministic run of the selected experiment; telemetry is read
-   back by the caller. *)
-let run_traced experiment ~seed ~duration =
+   back by the caller. [sweep] fans three whole runs across the domain
+   pool via [Harness.run_many] — the per-run-sink path whose journal is
+   byte-identical at any --domains count; [versus] is the many-sender
+   contention workload exercising the per-flow metric families. *)
+let run_traced experiment ~seed ~duration ~senders =
   match experiment with
   | `Fig1 ->
     ignore
@@ -329,6 +353,17 @@ let run_traced experiment ~seed ~duration =
   | `Fig3 -> ignore (E.Fig3_alpha.run_one ~seed ~duration ~alpha:1.0 () : E.Fig3_alpha.run)
   | `Paper -> ignore (E.Harness.run { E.Harness.default with seed; duration } : E.Harness.result)
   | `Faults -> ignore (E.Ext_faults.run_rate_flap ~seed ~duration () : E.Ext_faults.scenario)
+  | `Sweep ->
+    let prior = E.Scalability.thin 32 (Utc_inference.Priors.paper_prior ()) in
+    let configs =
+      List.map
+        (fun s -> { E.Harness.default with seed = s; duration; prior })
+        [ seed; seed + 1; seed + 2 ]
+    in
+    ignore (E.Harness.run_many configs : E.Harness.result list)
+  | `Versus ->
+    let senders = if senders > 0 then senders else 8 in
+    ignore (E.Versus.many_senders ~seed ~duration ~senders () : E.Versus.many)
 
 let trace_cmd =
   let trace_out =
@@ -357,17 +392,18 @@ let trace_cmd =
     in
     Arg.(value & opt (some string) None & info [ "series-out" ] ~docv:"FILE" ~doc)
   in
-  let run () experiment seed duration domains fmt capacity head trace_out series_out =
+  let run () experiment seed duration senders domains fmt capacity head trace_out series_out =
     ignore (resolve_pool domains : Utc_parallel.Pool.t);
     Utc_obs.Metrics.enable ();
     Utc_obs.Metrics.reset ();
     Utc_obs.Sink.enable ~capacity ();
     Utc_obs.Sink.reset ();
-    run_traced experiment ~seed ~duration;
+    run_traced experiment ~seed ~duration ~senders;
     Utc_obs.Sink.disable ();
     Utc_obs.Metrics.disable ();
     let events = Utc_obs.Sink.events () in
-    Format.printf "events=%d dropped=%d@." (List.length events) (Utc_obs.Sink.dropped ());
+    let _, dropped = Utc_obs.Sink.stats () in
+    Format.printf "events=%d dropped=%d@." (List.length events) dropped;
     (match trace_out with
     | Some path ->
       Utc_obs.Export.write ~path (Utc_obs.Export.render fmt events);
@@ -394,8 +430,8 @@ let trace_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ domains_opt $ trace_format
-      $ trace_capacity $ head $ trace_out $ series_out)
+      const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ senders_opt $ domains_opt
+      $ trace_format $ trace_capacity $ head $ trace_out $ series_out)
 
 let metrics_cmd =
   let json =
@@ -405,11 +441,11 @@ let metrics_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run () experiment seed duration domains json =
+  let run () experiment seed duration senders domains json =
     ignore (resolve_pool domains : Utc_parallel.Pool.t);
     Utc_obs.Metrics.enable ();
     Utc_obs.Metrics.reset ();
-    run_traced experiment ~seed ~duration;
+    run_traced experiment ~seed ~duration ~senders;
     Utc_obs.Metrics.disable ();
     let snapshot = Utc_obs.Metrics.snapshot ~at:duration in
     if json then Format.printf "%s@." (Utc_obs.Metrics.snapshot_json ~profile:false snapshot)
@@ -423,7 +459,9 @@ let metrics_cmd =
          histogram / span snapshot."
   in
   Cmd.v info
-    Term.(const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ domains_opt $ json)
+    Term.(
+      const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ senders_opt $ domains_opt
+      $ json)
 
 let obsbench_cmd =
   let out =

@@ -117,11 +117,11 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
   in
   let hyps = Belief.top belief ~n:config.top_hyps in
   let max_delay = List.fold_left Float.max 0.0 config.delays in
-  if hyps = [] then begin
+  match hyps with
+  | [] ->
     record_decision ~now ~evaluations:[] (Sleep max_delay);
     (Sleep max_delay, [])
-  end
-  else begin
+  | _ :: _ ->
     let z = Utc_inference.Logw.logsumexp (List.map (fun h -> h.Belief.logw) hyps) in
     let t_end = now +. max_delay +. config.horizon in
     let candidates = Array.of_list config.delays in
@@ -165,5 +165,4 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
       end
     in
     record_decision ~now ~evaluations decision;
-    (decision, evaluations)
-  end)
+    (decision, evaluations))

@@ -73,12 +73,12 @@ let drop t ~node_id ~reason pkt =
   Utc_obs.Metrics.incr drops_c;
   if Utc_obs.Sink.enabled () then
     Utc_obs.Sink.record
+      ~flow:(Flow.to_string pkt.Packet.flow)
       ~at:(Engine.now t.engine)
       (Utc_obs.Event.Packet_drop
          {
            node = string_of_int node_id;
            reason = Format.asprintf "%a" pp_drop_reason reason;
-           flow = Flow.to_string pkt.Packet.flow;
            seq = pkt.Packet.seq;
          });
   t.cb.on_drop ~node_id ~reason pkt

@@ -23,9 +23,10 @@ let row_of_harness ~label (result : Harness.result) =
     delivered = List.length result.Harness.primary_deliveries;
     truth_mass;
     mean_hyps =
-      (if sizes = [] then 0.0
-       else
-         float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes));
+      (match sizes with
+      | [] -> 0.0
+      | _ :: _ ->
+        float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int (List.length sizes));
     max_hyps_seen = List.fold_left Stdlib.max 0 sizes;
     rejected = result.Harness.rejected_updates;
     wall_seconds = result.Harness.wall_seconds;

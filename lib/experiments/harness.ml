@@ -72,11 +72,25 @@ type result = {
 let truth_cell (p : Priors.fig2_params) =
   (p.link_bps, p.pinger_pps, p.loss_rate, p.buffer_bits)
 
-let entropy_g = Utc_obs.Metrics.gauge "harness.belief.entropy"
-let size_g = Utc_obs.Metrics.gauge "harness.belief.size"
+(* Run-scoped observations go through families keyed by the ambient
+   sweep label: a single run resolves the unlabeled child (bare metric
+   name, as before), while each run of a [run_many] sweep gets its own
+   [run="<index>"] child — per-run values survive the sweep instead of
+   last-writer-wins clobbering, and the snapshot stays deterministic at
+   any domain count because no two runs share a child. *)
+let entropy_gf = Utc_obs.Metrics.gauge_family "harness.belief.entropy"
+let size_gf = Utc_obs.Metrics.gauge_family "harness.belief.size"
+
+let run_labels () =
+  match Utc_obs.Sink.run_label () with
+  | None -> []
+  | Some r -> [ ("run", r) ]
 
 let run config =
   let wall_start = Utc_sim.Wallclock.now () in
+  let labels = run_labels () in
+  let entropy_g = Utc_obs.Metrics.labeled entropy_gf labels in
+  let size_g = Utc_obs.Metrics.labeled size_gf labels in
   let forward_config =
     {
       Utc_model.Forward.default_config with
@@ -133,7 +147,12 @@ let run config =
         }
         :: !samples);
   Utc_core.Isender.start isender;
-  Utc_obs.Metrics.span ~name:"harness.run"
+  let span_name =
+    match Utc_obs.Sink.run_label () with
+    | None -> "harness.run"
+    | Some r -> Printf.sprintf "harness.run{run=%S}" r
+  in
+  Utc_obs.Metrics.span ~name:span_name
     ~now:(fun () -> Utc_sim.Engine.now engine)
     (fun () -> Utc_sim.Engine.run ~until:config.duration engine);
   let drops = Utc_core.Receiver.drops receiver in
@@ -170,18 +189,30 @@ let run config =
     wall_seconds = Utc_sim.Wallclock.elapsed_since wall_start;
   }
 
-(* Whole runs fan across the pool here, so per-run telemetry recorded
-   inside [run] interleaves across domains: counters still total
-   correctly (they are order-independent sums), but the journal's event
-   order is only deterministic for a single in-flight run. Callers that
-   need a deterministic journal trace one run at a time. *)
+(* Whole runs fan across the pool, so each run journals into a private
+   per-run sink created in this serial prologue; the serial epilogue
+   absorbs them into the process journal in run-index order. The
+   concatenated journal is therefore byte-identical at any domain
+   count. The [with_run] binding rides the job closure, so it lands on
+   whichever domain executes the run (nested pool drains included). *)
 let run_many ?pool configs =
   let pool =
     match pool with
     | Some pool -> pool
     | None -> Utc_parallel.Pool.default ()
   in
-  Utc_parallel.Pool.map_list pool ~f:run configs
+  let capacity = Utc_obs.Sink.capacity () in
+  let jobs =
+    List.mapi (fun i config -> (i, config, Utc_obs.Sink.create ~capacity ())) configs
+  in
+  let results =
+    Utc_parallel.Pool.map_list pool
+      ~f:(fun (i, config, sink) ->
+        Utc_obs.Sink.with_run ~run:(string_of_int i) sink (fun () -> run config))
+      jobs
+  in
+  List.iter (fun (_, _, sink) -> Utc_obs.Sink.absorb sink) jobs;
+  results
 
 let throughput result ~flow ~since ~until =
   let deliveries =
@@ -198,5 +229,6 @@ let throughput result ~flow ~since ~until =
   if until > since then float_of_int bits /. (until -. since) else 0.0
 
 let sends_in result ~since ~until =
-  List.length
-    (List.filter (fun (t, _) -> Tb.( >=. ) t since && Tb.( <. ) t until) result.sent)
+  List.fold_left
+    (fun acc (t, _) -> if Tb.( >=. ) t since && Tb.( <. ) t until then acc + 1 else acc)
+    0 result.sent

@@ -10,7 +10,10 @@
       left in hot paths when telemetry is off — the number of guarded
       calls times the measured per-call guard cost, relative to the
       telemetry-off wall time. This is the figure the <2% acceptance
-      bound applies to.
+      bound applies to;
+    - [labeled_overhead_ratio]: per-call cost of an enabled increment
+      through a cached labeled-family child, relative to a plain
+      counter. Bound: ≤2x — labels must not tax the hot path.
 
     Leaves both the metrics registry and the sink disabled and reset. *)
 
@@ -26,6 +29,9 @@ type report = {
   events_dropped : int;
   noop_ns : float;  (** one disabled recording call, nanoseconds *)
   disabled_overhead_percent : float;
+  counter_ns : float;  (** one enabled plain-counter incr, nanoseconds *)
+  labeled_ns : float;  (** same through a cached family child *)
+  labeled_overhead_ratio : float;  (** [labeled_ns / counter_ns]; bound 2x *)
 }
 
 val run : ?seed:int -> ?duration:float -> ?repeats:int -> unit -> report

@@ -129,6 +129,131 @@ let isender_vs_isender ?(seed = 9) ?(duration = 300.0) ?(alpha = 1.0) () =
       Utc_core.Isender.rejected_updates a + Utc_core.Isender.rejected_updates b;
   }
 
+(* --- many senders: the §3.5 contention experiment scaled out --- *)
+
+type flow_row = {
+  sender : int;
+  flow : string;
+  f_sent : int;
+  f_delivered : int;
+  f_throughput_bps : float;
+  f_mean_rtt : float;
+  f_queue_drops : int;
+}
+
+type many = {
+  senders : int;
+  many_duration : float;
+  rows : flow_row list;  (** one per sender, in sender order *)
+  many_jain : float;
+  total_drops : int;
+}
+
+(* Per-flow accounting lives in labeled families: one child per sender
+   flow, resolved once per run and cached, so the hot-path cost is an
+   ordinary counter increment. At the default 1024-child cap the full
+   256-sender workload fits with room to spare; anything wider degrades
+   to the [other] child instead of unbounded registry growth. *)
+let sent_cf = Utc_obs.Metrics.counter_family "versus.flow.sent"
+let delivered_cf = Utc_obs.Metrics.counter_family "versus.flow.delivered"
+let queue_drops_cf = Utc_obs.Metrics.counter_family "versus.flow.queue_drops"
+let throughput_gf = Utc_obs.Metrics.gauge_family "versus.flow.throughput_bps"
+
+let rtt_hf =
+  Utc_obs.Metrics.histogram_family "versus.flow.rtt"
+    ~buckets:[ 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0 ]
+
+let many_senders ?(seed = 9) ?(duration = 60.0) ~senders () =
+  if senders < 1 || senders > 256 then
+    invalid_arg "Versus.many_senders: senders must be in 1..256";
+  let n = senders in
+  let flows = List.init n (fun i -> Flow.Aux i) in
+  (* The §4 bottleneck scaled with the population: per-sender fair share
+     and per-sender buffer quota stay constant, so contention dynamics —
+     not starvation — are what changes with N. *)
+  let truth =
+    {
+      Topology.sources = List.map Topology.endpoint flows;
+      shared =
+        Topology.series
+          [
+            Topology.buffer ~capacity_bits:(48_000 * n);
+            Topology.throughput ~rate_bps:(12_000.0 *. float_of_int n);
+          ];
+    }
+  in
+  let engine = Engine.create ~seed () in
+  let receiver = Utc_core.Receiver.create engine in
+  let compiled = Compiled.compile_exn truth in
+  let runtime = Utc_elements.Runtime.build engine compiled (Utc_core.Receiver.callbacks receiver) in
+  let tcps =
+    List.map
+      (fun flow ->
+        let labels = [ ("flow", Flow.to_string flow) ] in
+        let sent_c = Utc_obs.Metrics.labeled sent_cf labels in
+        let delivered_c = Utc_obs.Metrics.labeled delivered_cf labels in
+        let tcp =
+          Utc_tcp.Sender.create engine
+            { Utc_tcp.Sender.default_config with flow }
+            ~inject:(fun pkt ->
+              Utc_obs.Metrics.incr sent_c;
+              Utc_elements.Runtime.inject runtime flow pkt)
+        in
+        Utc_core.Receiver.subscribe receiver flow (fun _ pkt ->
+            Utc_obs.Metrics.incr delivered_c;
+            Utc_tcp.Sender.on_delivery tcp pkt);
+        tcp)
+      flows
+  in
+  List.iter Utc_tcp.Sender.start tcps;
+  Engine.run ~until:duration engine;
+  (* Serial epilogue: fold the drop log once, then publish per-flow
+     results into the families. *)
+  let drop_counts = Array.make n 0 in
+  let all_drops = Utc_core.Receiver.drops receiver in
+  List.iter
+    (fun (_, _, _, pkt) ->
+      match pkt.Utc_net.Packet.flow with
+      | Flow.Aux i when i >= 0 && i < n -> drop_counts.(i) <- drop_counts.(i) + 1
+      | _ -> ())
+    all_drops;
+  let rows =
+    List.mapi
+      (fun i (flow, tcp) ->
+        let fl = Flow.to_string flow in
+        let labels = [ ("flow", fl) ] in
+        let throughput =
+          Utc_core.Receiver.throughput receiver flow ~since:0.0 ~until:duration
+        in
+        let rtts = List.map snd (Utc_tcp.Sender.rtt_trace tcp) in
+        let mean_rtt =
+          match Utc_stats.Summary.of_list rtts with
+          | Some s -> s.Utc_stats.Summary.mean
+          | None -> 0.0
+        in
+        Utc_obs.Metrics.set_gauge (Utc_obs.Metrics.labeled throughput_gf labels) throughput;
+        Utc_obs.Metrics.add (Utc_obs.Metrics.labeled queue_drops_cf labels) drop_counts.(i);
+        let rtt_h = Utc_obs.Metrics.labeled rtt_hf labels in
+        List.iter (Utc_obs.Metrics.observe rtt_h) rtts;
+        {
+          sender = i;
+          flow = fl;
+          f_sent = Utc_tcp.Sender.sent_count tcp;
+          f_delivered = Utc_tcp.Sender.delivered tcp;
+          f_throughput_bps = throughput;
+          f_mean_rtt = mean_rtt;
+          f_queue_drops = drop_counts.(i);
+        })
+      (List.combine flows tcps)
+  in
+  {
+    senders = n;
+    many_duration = duration;
+    rows;
+    many_jain = Utc_stats.Fairness.jain (List.map (fun r -> r.f_throughput_bps) rows);
+    total_drops = List.length all_drops;
+  }
+
 type aqm_row = {
   discipline : string;
   throughput_bps : float;
@@ -203,6 +328,32 @@ let pp_share ppf share =
   Format.fprintf ppf
     "%s: primary %.0f bps, other %.0f bps, Jain %.3f, drops %d, rejected updates %d@."
     share.label share.primary_bps share.other_bps share.jain share.drops share.rejected_updates
+
+let pp_many ppf m =
+  Format.fprintf ppf "%d Reno senders sharing a %.0f bps bottleneck for %gs@." m.senders
+    (12_000.0 *. float_of_int m.senders)
+    m.many_duration;
+  Format.fprintf ppf "Jain %.3f, %d queue drops total@." m.many_jain m.total_drops;
+  let tps = List.map (fun r -> r.f_throughput_bps) m.rows in
+  (match Utc_stats.Summary.of_list tps with
+  | Some s ->
+    Format.fprintf ppf "per-flow goodput: mean %.0f bps, min %.0f, max %.0f@."
+      s.Utc_stats.Summary.mean s.Utc_stats.Summary.min s.Utc_stats.Summary.max
+  | None -> ());
+  if m.senders <= 16 then begin
+    Format.fprintf ppf "%-8s %-8s %8s %10s %14s %10s %8s@." "sender" "flow" "sent" "delivered"
+      "goodput(bps)" "mean RTT" "drops";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-8d %-8s %8d %10d %14.0f %10.3f %8d@." r.sender r.flow r.f_sent
+          r.f_delivered r.f_throughput_bps r.f_mean_rtt r.f_queue_drops)
+      m.rows
+  end
+  else
+    Format.fprintf ppf
+      "(%d rows; per-flow series live in the metric families — utc metrics versus --senders %d \
+       --json)@."
+      m.senders m.senders
 
 let pp_aqm ppf rows =
   Format.fprintf ppf "%-10s %14s %10s %10s %8s@." "discipline" "goodput(bps)" "mean RTT" "p95 RTT"

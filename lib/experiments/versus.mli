@@ -29,6 +29,34 @@ val isender_vs_isender : ?seed:int -> ?duration:float -> ?alpha:float -> unit ->
     throughput split and how often each belief rejected every
     configuration. *)
 
+type flow_row = {
+  sender : int;
+  flow : string;  (** [Flow.to_string], e.g. ["aux3"] — the family label *)
+  f_sent : int;
+  f_delivered : int;
+  f_throughput_bps : float;
+  f_mean_rtt : float;
+  f_queue_drops : int;
+}
+
+type many = {
+  senders : int;
+  many_duration : float;
+  rows : flow_row list;  (** one per sender, in sender order *)
+  many_jain : float;
+  total_drops : int;
+}
+
+val many_senders : ?seed:int -> ?duration:float -> senders:int -> unit -> many
+(** [senders] Reno senders (flows [Aux 0 .. Aux n-1]) sharing one
+    bottleneck whose rate and buffer scale with the population, so the
+    per-sender fair share stays the §4 12 kbps. Per-flow accounting is
+    published through the [versus.flow.*] labeled metric families
+    (sent/delivered/queue-drop counters, goodput gauge, RTT histogram;
+    one [flow="auxN"] child per sender) and every packet event in the
+    journal carries its flow. Raises [Invalid_argument] unless
+    [1 <= senders <= 256]. *)
+
 type aqm_row = {
   discipline : string;
   throughput_bps : float;
@@ -41,4 +69,5 @@ val tcp_under_aqm : ?seed:int -> ?duration:float -> unit -> aqm_row list
 (** Reno through tail-drop / RED / CoDel at the Figure 1 bottleneck. *)
 
 val pp_share : Format.formatter -> share -> unit
+val pp_many : Format.formatter -> many -> unit
 val pp_aqm : Format.formatter -> aqm_row list -> unit

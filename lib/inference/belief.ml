@@ -311,8 +311,10 @@ let update ?pool t ~sends ~acks ~now ?now_prio () =
   Utc_obs.Metrics.span ~name:"belief.update" (fun () ->
       let result =
         let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
-        if conditioned.hyps <> [] then (conditioned, Consistent)
-        else begin
+        match conditioned.hyps with
+        | _ :: _ -> (conditioned, Consistent)
+        | [] ->
+          begin
           let unconditioned = step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false in
           (unconditioned, All_rejected)
         end

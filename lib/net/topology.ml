@@ -145,8 +145,9 @@ and validate_all = function
 
 let validate t =
   let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
-  if t.sources = [] then fail "network has no sources"
-  else begin
+  match t.sources with
+  | [] -> fail "network has no sources"
+  | _ :: _ -> begin
     let flows = List.map source_flow t.sources in
     let rec dup = function
       | [] -> None

@@ -1,7 +1,7 @@
 type t =
-  | Packet_send of { flow : string; seq : int; bits : int }
-  | Packet_ack of { flow : string; seq : int }
-  | Packet_drop of { node : string; reason : string; flow : string; seq : int }
+  | Packet_send of { seq : int; bits : int }
+  | Packet_ack of { seq : int }
+  | Packet_drop of { node : string; reason : string; seq : int }
   | Timeout of { seq : int }
   | Belief_update of { size : int; entropy : float; ess : float; status : string }
   | Belief_reseed of { size : int; keep : int }
@@ -27,10 +27,10 @@ let kind = function
 let fields t : (string * Obs_json.value) list =
   let open Obs_json in
   match t with
-  | Packet_send { flow; seq; bits } -> [ ("flow", Str flow); ("seq", Int seq); ("bits", Int bits) ]
-  | Packet_ack { flow; seq } -> [ ("flow", Str flow); ("seq", Int seq) ]
-  | Packet_drop { node; reason; flow; seq } ->
-    [ ("node", Str node); ("reason", Str reason); ("flow", Str flow); ("seq", Int seq) ]
+  | Packet_send { seq; bits } -> [ ("seq", Int seq); ("bits", Int bits) ]
+  | Packet_ack { seq } -> [ ("seq", Int seq) ]
+  | Packet_drop { node; reason; seq } ->
+    [ ("node", Str node); ("reason", Str reason); ("seq", Int seq) ]
   | Timeout { seq } -> [ ("seq", Int seq) ]
   | Belief_update { size; entropy; ess; status } ->
     [ ("size", Int size); ("entropy", Float entropy); ("ess", Float ess); ("status", Str status) ]

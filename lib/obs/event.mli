@@ -3,14 +3,17 @@
     One constructor per instrumented behaviour in the simulator. Every
     payload field is a plain value derived from simulation state — never
     wall-clock time — so a recorded event stream is a pure function of
-    [(seed, schedule, domains)]. Extend the variant (and {!kind} /
-    {!fields}) when instrumenting new behaviour; downstream exporters are
+    [(seed, schedule, domains)]. Flow/sender identity is not a payload
+    field: it rides on {!Sink.recorded} (passed as [Sink.record ?flow]),
+    so any event kind can be attributed to a flow without widening the
+    variant. Extend the variant (and {!kind} / {!fields}) when
+    instrumenting new behaviour; downstream exporters are
     schema-agnostic. *)
 
 type t =
-  | Packet_send of { flow : string; seq : int; bits : int }
-  | Packet_ack of { flow : string; seq : int }
-  | Packet_drop of { node : string; reason : string; flow : string; seq : int }
+  | Packet_send of { seq : int; bits : int }
+  | Packet_ack of { seq : int }
+  | Packet_drop of { node : string; reason : string; seq : int }
   | Timeout of { seq : int }
   | Belief_update of { size : int; entropy : float; ess : float; status : string }
       (** [ess] is the effective sample size [1 / Σ w²] of the posterior. *)

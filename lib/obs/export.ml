@@ -11,9 +11,14 @@ let format_to_string = function
 
 let jsonl_line (r : Sink.recorded) =
   let open Obs_json in
+  let flow =
+    match r.flow with
+    | Some f -> [ ("flow", Str f) ]
+    | None -> []
+  in
   obj
     ([ ("t", Float r.at); ("n", Int r.seq); ("event", Str (Event.kind r.event)) ]
-    @ Event.fields r.event)
+    @ flow @ Event.fields r.event)
 
 let jsonl records =
   let buf = Buffer.create 4096 in
@@ -26,10 +31,28 @@ let jsonl records =
 
 (* Chrome trace_event JSON-array format: instant events ("ph":"i") with
    microsecond timestamps derived from sim-time, loadable in
-   chrome://tracing and Perfetto. pid/tid are synthetic (one "process"
-   for the simulation, one "thread" per event kind keeps lanes
-   readable). *)
+   chrome://tracing and Perfetto. pid/tid are synthetic: one "process"
+   per flow (pid 1 is the simulation itself, i.e. events with no flow;
+   flows get pids in order of first appearance, which journal
+   determinism makes stable) and one "thread" per event kind, so
+   Perfetto groups a flow's lanes together. *)
 let chrome records =
+  let flows = Hashtbl.create 16 in
+  let flow_order = ref [] in
+  let next_pid = ref 1 in
+  let pid_of = function
+    | None -> 1
+    | Some flow -> (
+      match Hashtbl.find_opt flows flow with
+      | Some pid -> pid
+      | None ->
+        incr next_pid;
+        Hashtbl.replace flows flow !next_pid;
+        flow_order := (flow, !next_pid) :: !flow_order;
+        !next_pid)
+  in
+  (* Resolve pids up front so process_name metadata can lead the trace. *)
+  List.iter (fun (r : Sink.recorded) -> ignore (pid_of r.flow)) records;
   let kinds = Hashtbl.create 16 in
   let next_tid = ref 0 in
   let tid_of kind =
@@ -40,17 +63,31 @@ let chrome records =
       Hashtbl.replace kinds kind !next_tid;
       !next_tid
   in
+  let open Obs_json in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
-  List.iteri
-    (fun i (r : Sink.recorded) ->
-      if i > 0 then Buffer.add_string buf ",\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  let metadata pid name =
+    "{" ^ quote "name" ^ ":" ^ quote "process_name" ^ "," ^ quote "ph" ^ ":\"M\"," ^ quote "pid"
+    ^ ":" ^ string_of_int pid ^ "," ^ quote "tid" ^ ":0," ^ quote "args" ^ ":"
+    ^ obj [ ("name", Str name) ]
+    ^ "}"
+  in
+  emit (metadata 1 "sim");
+  List.iter (fun (flow, pid) -> emit (metadata pid ("flow " ^ flow))) (List.rev !flow_order);
+  List.iter
+    (fun (r : Sink.recorded) ->
       let kind = Event.kind r.event in
-      let open Obs_json in
-      Buffer.add_string buf
+      emit
         ("{" ^ quote "name" ^ ":" ^ quote kind ^ "," ^ quote "ph" ^ ":\"i\"," ^ quote "ts" ^ ":"
-       ^ number (r.at *. 1e6) ^ "," ^ quote "pid" ^ ":1," ^ quote "tid" ^ ":"
-        ^ string_of_int (tid_of kind) ^ "," ^ quote "s" ^ ":\"t\"," ^ quote "args" ^ ":"
+       ^ number (r.at *. 1e6) ^ "," ^ quote "pid" ^ ":" ^ string_of_int (pid_of r.flow) ^ ","
+       ^ quote "tid" ^ ":" ^ string_of_int (tid_of kind) ^ "," ^ quote "s" ^ ":\"t\"," ^ quote "args"
+       ^ ":"
         ^ obj (("n", Int r.seq) :: Event.fields r.event)
         ^ "}"))
     records;

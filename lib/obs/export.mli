@@ -10,16 +10,20 @@ val format_of_string : string -> format option
 val format_to_string : format -> string
 
 val jsonl_line : Sink.recorded -> string
-(** One JSON object: [{"t":…,"n":…,"event":"…",…payload}] where ["n"]
-    is the journal sequence number. *)
+(** One JSON object: [{"t":…,"n":…,"event":"…","flow":"…",…payload}]
+    where ["n"] is the journal sequence number and ["flow"] (present only
+    for flow-attributed records) is the record's flow identity. *)
 
 val jsonl : Sink.recorded list -> string
 (** One {!jsonl_line} per record, newline-terminated. *)
 
 val chrome : Sink.recorded list -> string
 (** Chrome [trace_event] JSON array of instant events: [ts] is sim-time
-    in microseconds, one synthetic [tid] lane per event kind. Loadable in
-    chrome://tracing or Perfetto. *)
+    in microseconds, one synthetic [pid] "process" per flow (pid 1 is the
+    simulation itself — records with no flow; each flow's pid is assigned
+    in first-appearance order and named via a [process_name] metadata
+    event) and one [tid] lane per event kind. Loadable in chrome://tracing
+    or Perfetto. *)
 
 val render : format -> Sink.recorded list -> string
 

@@ -1,4 +1,9 @@
-type counter = { c_name : string; mutable count : int }
+(* Counter increments are atomic: pooled sweeps ([Harness.run_many])
+   legitimately bump process-global counters from several domains at
+   once, and a plain read-modify-write would lose updates — making even
+   the *totals* nondeterministic. Atomic adds keep counter totals exact
+   order-independent sums at any domain count. *)
+type counter = { c_name : string; count : int Atomic.t }
 
 type gauge = { g_name : string; mutable value : float; mutable set : bool }
 
@@ -24,35 +29,39 @@ let disable () = enabled_flag := false
 
 (* The registration tables are only mutated when a handle is first
    created (module-init time in practice); the lock makes late
-   registration from a pooled section safe. Value mutation is lock-free
-   by contract: instrumented sites live in serial sections, which is
-   also what makes snapshots deterministic. *)
+   registration — including family children resolved mid-run — safe.
+   Value mutation is lock-free by contract: gauge and histogram sites
+   live in serial sections (or in label-disjoint family children), which
+   is also what makes snapshots deterministic. *)
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 let spans : (string, span) Hashtbl.t = Hashtbl.create 64
 
+let register_locked table name make =
+  match Hashtbl.find_opt table name with
+  | Some entry -> entry
+  | None ->
+    let entry = make () in
+    Hashtbl.replace table name entry;
+    entry
+
 let register table name make =
   Mutex.lock lock;
-  let entry =
-    match Hashtbl.find_opt table name with
-    | Some entry -> entry
-    | None ->
-      let entry = make () in
-      Hashtbl.replace table name entry;
-      entry
-  in
+  let entry = register_locked table name make in
   Mutex.unlock lock;
   entry
 
-let counter name = register counters name (fun () -> { c_name = name; count = 0 })
+let make_counter name () = { c_name = name; count = Atomic.make 0 }
+let counter name = register counters name (make_counter name)
 let counter_name c = c.c_name
-let count c = c.count
-let add c n = if !enabled_flag then c.count <- c.count + n
+let count c = Atomic.get c.count
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.count n)
 let incr c = add c 1
 
-let gauge name = register gauges name (fun () -> { g_name = name; value = 0.0; set = false })
+let make_gauge name () = { g_name = name; value = 0.0; set = false }
+let gauge name = register gauges name (make_gauge name)
 let gauge_name g = g.g_name
 let gauge_value g = if g.set then Some g.value else None
 
@@ -64,19 +73,21 @@ let set_gauge g v =
 
 let default_buckets = [ 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7 ]
 
-let histogram ?(buckets = default_buckets) name =
+let make_histogram ?(buckets = default_buckets) name () =
   let sorted = List.sort_uniq Float.compare buckets in
-  if sorted = [] then invalid_arg "Metrics.histogram: no buckets";
-  register histograms name (fun () ->
-      let bounds = Array.of_list sorted in
-      {
-        h_name = name;
-        bounds;
-        counts = Array.make (Array.length bounds + 1) 0;
-        total = 0;
-        sum = 0.0;
-      })
+  (match sorted with
+  | [] -> invalid_arg "Metrics.histogram: no buckets"
+  | _ :: _ -> ());
+  let bounds = Array.of_list sorted in
+  {
+    h_name = name;
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    total = 0;
+    sum = 0.0;
+  }
 
+let histogram ?buckets name = register histograms name (make_histogram ?buckets name)
 let histogram_name h = h.h_name
 
 (* O(#buckets) with a small fixed bucket list: constant in the number of
@@ -115,10 +126,141 @@ let span ?now ~name f =
       f
   end
 
+(* --- labeled families --- *)
+
+type labels = (string * string) list
+
+type 'a family = {
+  f_name : string;
+  f_max : int;
+  f_make : string -> 'a;
+  f_children : (string, 'a) Hashtbl.t;
+  mutable f_count : int;
+  mutable f_other : 'a option;
+}
+
+let default_max_children = 1024
+
+(* Bumped whenever a family routes a resolution to its [other] child.
+   Registered eagerly so it appears (at 0) in every snapshot once this
+   module is linked, and counted even while recording is disabled: cap
+   overflow is a registration-shape fact, not a sample. *)
+let overflow_counter = counter "utc_obs_family_overflow"
+
+let valid_label_key k =
+  String.length k > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       k
+
+(* [name{k1="v1",k2="v2"}], keys sorted, values JSON-escaped: one
+   canonical rendering per label set, so child identity, registry keys
+   and snapshot ordering (name-then-labels under String.compare) all
+   coincide. *)
+let render_name name labels =
+  match labels with
+  | [] -> name
+  | _ :: _ ->
+    let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+    let rec check_dups = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Metrics: duplicate label key %S in family %s" a name)
+        else check_dups rest
+      | _ -> ()
+    in
+    check_dups sorted;
+    List.iter
+      (fun (k, _) ->
+        if not (valid_label_key k) then
+          invalid_arg (Printf.sprintf "Metrics: invalid label key %S in family %s" k name))
+      sorted;
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf name;
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (Obs_json.quote v))
+      sorted;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let other_name name = name ^ "{other=\"true\"}"
+
+(* [f_make] is called with the registry lock held (see [labeled]) and
+   must not raise: validate everything at family-creation time. *)
+let family ~table ~make ?(max_children = default_max_children) name =
+  if max_children <= 0 then invalid_arg "Metrics: max_children must be positive";
+  {
+    f_name = name;
+    f_max = max_children;
+    f_make = (fun full -> register_locked table full (make full));
+    f_children = Hashtbl.create 16;
+    f_count = 0;
+    f_other = None;
+  }
+
+let counter_family ?max_children name =
+  family ~table:counters ~make:make_counter ?max_children name
+
+let gauge_family ?max_children name = family ~table:gauges ~make:make_gauge ?max_children name
+
+let histogram_family ?buckets ?max_children name =
+  (match List.sort_uniq Float.compare (Option.value buckets ~default:default_buckets) with
+  | [] -> invalid_arg "Metrics.histogram_family: no buckets"
+  | _ :: _ -> ());
+  family ~table:histograms ~make:(fun full -> make_histogram ?buckets full) ?max_children name
+
+let family_name f = f.f_name
+let family_children f = f.f_count
+
+(* Resolution is a locked lookup on the steady state; a child is built
+   at most once per (family, label set). Callers on hot paths should
+   resolve once and cache the child — recording through a child is
+   exactly as cheap as through an unlabeled handle, because it *is* one.
+   The registry lock also guards the family's own child table, since
+   pooled jobs resolve their per-run children concurrently. *)
+let labeled fam labels =
+  let full = render_name fam.f_name labels in
+  Mutex.lock lock;
+  let child =
+    match Hashtbl.find_opt fam.f_children full with
+    | Some child -> child
+    | None ->
+      if fam.f_count < fam.f_max then begin
+        let child = fam.f_make full in
+        Hashtbl.replace fam.f_children full child;
+        fam.f_count <- fam.f_count + 1;
+        child
+      end
+      else begin
+        (* Over the cap: route to the reserved catch-all child so
+           cardinality stays bounded no matter what labels show up. *)
+        ignore (Atomic.fetch_and_add overflow_counter.count 1);
+        match fam.f_other with
+        | Some child -> child
+        | None ->
+          let child = fam.f_make (other_name fam.f_name) in
+          fam.f_other <- Some child;
+          child
+      end
+  in
+  Mutex.unlock lock;
+  child
+
+let family_overflows () = count overflow_counter
+
 let reset () =
   Mutex.lock lock;
   (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
   (* lint:allow R4 -- per-entry zeroing; no ordered output is produced *)
   Hashtbl.iter
     (fun _ g ->
@@ -164,6 +306,10 @@ type snapshot = {
   spans : (string * span_view) list;
 }
 
+(* Family children are registered under their canonical rendered name, so
+   one name-sort yields the name-then-label order the determinism
+   contract promises: '{' < any identifier character, so a family's
+   children group together right after its unlabeled sibling (if any). *)
 let sorted_bindings table view =
   Hashtbl.fold (fun name entry acc -> (name, view entry) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -173,7 +319,7 @@ let snapshot ~at =
   let s =
     {
       at;
-      counters = sorted_bindings counters (fun c -> c.count);
+      counters = sorted_bindings counters (fun c -> Atomic.get c.count);
       gauges =
         sorted_bindings gauges (fun g -> if g.set then Some g.value else None)
         |> List.filter_map (fun (name, v) -> Option.map (fun v -> (name, v)) v);
@@ -234,15 +380,19 @@ let snapshot_json ?(profile = true) s =
 
 let pp_snapshot ppf s =
   Format.fprintf ppf "metrics @ t=%ss@." (Obs_json.number s.at);
-  if s.counters <> [] then begin
+  (match s.counters with
+  | [] -> ()
+  | _ :: _ ->
     Format.fprintf ppf "counters:@.";
-    List.iter (fun (n, c) -> Format.fprintf ppf "  %-36s %12d@." n c) s.counters
-  end;
-  if s.gauges <> [] then begin
+    List.iter (fun (n, c) -> Format.fprintf ppf "  %-36s %12d@." n c) s.counters);
+  (match s.gauges with
+  | [] -> ()
+  | _ :: _ ->
     Format.fprintf ppf "gauges:@.";
-    List.iter (fun (n, v) -> Format.fprintf ppf "  %-36s %12s@." n (Obs_json.number v)) s.gauges
-  end;
-  if s.histograms <> [] then begin
+    List.iter (fun (n, v) -> Format.fprintf ppf "  %-36s %12s@." n (Obs_json.number v)) s.gauges);
+  (match s.histograms with
+  | [] -> ()
+  | _ :: _ ->
     Format.fprintf ppf "histograms:@.";
     List.iter
       (fun (n, h) ->
@@ -253,9 +403,10 @@ let pp_snapshot ppf s =
             if c > 0 then
               Format.fprintf ppf "    <= %-12s %12d@." (Obs_json.number (List.nth bounds i)) c)
           h.hv_counts)
-      s.histograms
-  end;
-  if s.spans <> [] then begin
+      s.histograms);
+  match s.spans with
+  | [] -> ()
+  | _ :: _ ->
     Format.fprintf ppf "spans (wall is profiling-only, excluded from determinism diffs):@.";
     List.iter
       (fun (n, sp) ->
@@ -263,4 +414,3 @@ let pp_snapshot ppf s =
           (Obs_json.number sp.sv_sim_seconds ^ "s")
           sp.sv_wall_seconds)
       s.spans
-  end

@@ -1,5 +1,5 @@
 (** Process-wide metrics registry: named counters, gauges, fixed-bucket
-    histograms, and wall/sim span profiling.
+    histograms, wall/sim span profiling, and labeled metric families.
 
     Handles are registered once (typically at module-init via a top-level
     [let c = Metrics.counter "..."]) and recording through a handle is O(1)
@@ -7,13 +7,14 @@
     recording operation is a single flag test, so instrumentation left in
     hot paths costs nothing measurable.
 
-    Determinism contract: counters, gauges and histograms must only be
-    mutated from serial sections of the simulator (never inside
-    [Utc_parallel.Pool] worker closures), so that {!snapshot} is a pure
-    function of [(seed, schedule)] regardless of the domain count. Span
-    [wall_seconds] is the one exception — it is profiling data, flagged as
-    such, and excluded from deterministic output via
-    [snapshot_json ~profile:false]. *)
+    Determinism contract: counter increments are atomic, so counter totals
+    are exact order-independent sums at any domain count. Gauges and
+    histograms must only be mutated from serial sections of a run — or
+    through family children whose label sets are disjoint across pooled
+    runs (e.g. [run="7"]) — so that {!snapshot} is a pure function of
+    [(seed, schedule)] regardless of the domain count. Span [wall_seconds]
+    is the one exception — it is profiling data, flagged as such, and
+    excluded from deterministic output via [snapshot_json ~profile:false]. *)
 
 type counter
 type gauge
@@ -62,6 +63,61 @@ val histogram_name : histogram -> string
 val observe : histogram -> float -> unit
 (** O(#buckets) — constant per sample. *)
 
+(** {1 Labeled families}
+
+    A family is a metric name plus a bounded set of label-addressed
+    children — the Prometheus model. [labeled fam [("flow", "aux3")]]
+    resolves (registering on first use) the child named
+    [name{flow="aux3"}]; label keys are sorted into one canonical
+    rendering, so child identity and snapshot order are independent of
+    the order the caller lists labels in. Children are ordinary handles
+    living in the global registry: they appear in {!snapshot} under their
+    rendered name (name-then-label sorted) and recording through one
+    costs exactly what the unlabeled handle costs.
+
+    Cardinality is hard-capped (default {!default_max_children} children
+    per family): once a family is full, every new label set resolves to
+    the reserved [name{other="true"}] catch-all child and bumps the
+    [utc_obs_family_overflow] counter, so an unbounded label source
+    (e.g. one label per sender at 10⁶ senders) degrades to aggregation
+    instead of unbounded memory. *)
+
+type labels = (string * string) list
+(** Label pairs; keys must be non-empty [[A-Za-z0-9_.-]]+ and unique
+    within a set. Values are arbitrary and JSON-escaped on rendering. *)
+
+type 'a family
+
+val default_max_children : int
+(** 1024. *)
+
+val counter_family : ?max_children:int -> string -> counter family
+val gauge_family : ?max_children:int -> string -> gauge family
+
+val histogram_family :
+  ?buckets:float list -> ?max_children:int -> string -> histogram family
+(** All children share the family's bucket layout. Raises
+    [Invalid_argument] on an empty bucket list. *)
+
+val labeled : 'a family -> labels -> 'a
+(** Resolves the child for this label set, registering it on first use
+    (or routing to the [other] child once the family is at its cap).
+    Thread-safe; raises [Invalid_argument] on malformed labels. Hot paths
+    should resolve once and cache the child. [labeled fam []] is the
+    family's unlabeled child, sharing the registry entry a plain
+    [counter name] would use. *)
+
+val family_name : 'a family -> string
+
+val family_children : 'a family -> int
+(** Distinct label sets resolved so far — never exceeds the cap; the
+    [other] child is not counted. *)
+
+val family_overflows : unit -> int
+(** Total over-cap resolutions process-wide (the
+    [utc_obs_family_overflow] counter). Counted even while recording is
+    disabled: cap overflow is a registration-shape fact, not a sample. *)
+
 (** {1 Spans} *)
 
 val span : ?now:(unit -> float) -> name:string -> (unit -> 'a) -> 'a
@@ -95,7 +151,9 @@ type snapshot = {
 }
 
 val snapshot : at:float -> snapshot
-(** All entries sorted by name — deterministic for a deterministic run. *)
+(** All entries sorted by name — family children sort right after their
+    family name, label sets in canonical order — deterministic for a
+    deterministic run. *)
 
 val snapshot_json : ?profile:bool -> snapshot -> string
 (** One-line JSON. [~profile:false] drops every wall-clock field, making
@@ -104,4 +162,5 @@ val snapshot_json : ?profile:bool -> snapshot -> string
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 val reset : unit -> unit
-(** Zeroes every registered entry (handles stay valid). *)
+(** Zeroes every registered entry, family children included (handles
+    stay valid and registered). *)

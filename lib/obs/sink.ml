@@ -1,60 +1,123 @@
-type recorded = { at : float; seq : int; event : Event.t }
+type recorded = { at : float; seq : int; flow : string option; event : Event.t }
 
 type t = {
   mutable capacity : int;
   queue : recorded Queue.t;
   mutable next_seq : int;
   mutable dropped : int;
+  lock : Mutex.t;
 }
 
 let default_capacity = 65_536
 
-let sink = { capacity = default_capacity; queue = Queue.create (); next_seq = 0; dropped = 0 }
+let make capacity =
+  { capacity; queue = Queue.create (); next_seq = 0; dropped = 0; lock = Mutex.create () }
+
+(* The process-wide journal: the default handle for every caller that
+   does not opt into a private per-run sink. *)
+let global = make default_capacity
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  make capacity
 
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 
-(* Serialises concurrent recording attempts. By the determinism contract
-   instrumented sites live in serial sections only, so in a correct build
-   this lock is uncontended — it exists to keep an accidental pooled
-   record from corrupting the queue rather than to make one valid. *)
-let lock = Mutex.create ()
+(* Ambient routing: [with_run] pins a private handle (plus its run label)
+   to the executing domain for the dynamic extent of one pooled job.
+   Domain-local state is exactly right here — the binding must travel
+   with the job, not the process — and per Dls's contract it carries
+   routing only: which journal an event lands in, never a value a result
+   depends on. *)
+let scope_key : (t * string) option Utc_parallel.Dls.key =
+  Utc_parallel.Dls.new_key (fun () -> None)
 
-let reset () =
-  Mutex.lock lock;
-  Queue.clear sink.queue;
-  sink.next_seq <- 0;
-  sink.dropped <- 0;
-  Mutex.unlock lock
+let with_run ~run handle f =
+  let prev = Utc_parallel.Dls.get scope_key in
+  Utc_parallel.Dls.set scope_key (Some (handle, run));
+  Fun.protect ~finally:(fun () -> Utc_parallel.Dls.set scope_key prev) f
+
+let run_label () = Option.map snd (Utc_parallel.Dls.get scope_key)
+
+let current () =
+  match Utc_parallel.Dls.get scope_key with
+  | Some (handle, _) -> handle
+  | None -> global
+
+let reset_handle h =
+  Mutex.lock h.lock;
+  Queue.clear h.queue;
+  h.next_seq <- 0;
+  h.dropped <- 0;
+  Mutex.unlock h.lock
+
+let reset () = reset_handle global
 
 let enable ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Sink.enable: capacity must be positive";
-  Mutex.lock lock;
-  sink.capacity <- capacity;
-  Mutex.unlock lock;
+  Mutex.lock global.lock;
+  global.capacity <- capacity;
+  Mutex.unlock global.lock;
   enabled_flag := true
 
 let disable () = enabled_flag := false
 
-let record ~at event =
-  if !enabled_flag then begin
-    Mutex.lock lock;
-    let seq = sink.next_seq in
-    sink.next_seq <- seq + 1;
-    if Queue.length sink.queue >= sink.capacity then begin
-      ignore (Queue.pop sink.queue);
-      sink.dropped <- sink.dropped + 1
-    end;
-    Queue.push { at; seq; event } sink.queue;
-    Mutex.unlock lock
-  end
+let push h ?flow ~at event =
+  Mutex.lock h.lock;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  if Queue.length h.queue >= h.capacity then begin
+    ignore (Queue.pop h.queue);
+    h.dropped <- h.dropped + 1
+  end;
+  Queue.push { at; seq; flow; event } h.queue;
+  Mutex.unlock h.lock
 
-let events () =
-  Mutex.lock lock;
-  let es = List.of_seq (Queue.to_seq sink.queue) in
-  Mutex.unlock lock;
+let record ?flow ~at event = if !enabled_flag then push (current ()) ?flow ~at event
+
+let events_of h =
+  Mutex.lock h.lock;
+  let es = List.of_seq (Queue.to_seq h.queue) in
+  Mutex.unlock h.lock;
   es
 
-let length () = Queue.length sink.queue
-let dropped () = sink.dropped
-let capacity () = sink.capacity
+let events () = events_of global
+
+let stats_of h =
+  Mutex.lock h.lock;
+  let s = (Queue.length h.queue, h.dropped) in
+  Mutex.unlock h.lock;
+  s
+
+let stats () = stats_of global
+let length () = fst (stats ())
+let dropped () = snd (stats ())
+
+let capacity () =
+  Mutex.lock global.lock;
+  let c = global.capacity in
+  Mutex.unlock global.lock;
+  c
+
+let absorb h =
+  Mutex.lock h.lock;
+  let es = List.of_seq (Queue.to_seq h.queue) in
+  let carried_drops = h.dropped in
+  Queue.clear h.queue;
+  h.next_seq <- 0;
+  h.dropped <- 0;
+  Mutex.unlock h.lock;
+  Mutex.lock global.lock;
+  global.dropped <- global.dropped + carried_drops;
+  List.iter
+    (fun r ->
+      let seq = global.next_seq in
+      global.next_seq <- seq + 1;
+      if Queue.length global.queue >= global.capacity then begin
+        ignore (Queue.pop global.queue);
+        global.dropped <- global.dropped + 1
+      end;
+      Queue.push { r with seq } global.queue)
+    es;
+  Mutex.unlock global.lock

@@ -1,0 +1,21 @@
+(** Domain-local storage, re-exported so [Domain.*] primitives stay
+    confined to [lib/parallel] (lint rule R7).
+
+    A key holds one value per domain; [set] inside a pooled job binds the
+    value on whichever domain executes that job, so a binding installed
+    around a job closure travels with the job rather than with the
+    process.
+
+    Determinism contract: domain-local values may only influence {e where}
+    side-band data (telemetry, logging) is routed — never a computed
+    result. Anything a result depends on must flow through
+    {!Pool.map_list}'s arguments and return values, whose chunk-by-index
+    partition and ordered merge keep outputs bit-identical to serial. *)
+
+type 'a key
+
+val new_key : (unit -> 'a) -> 'a key
+(** [new_key init] — [init] runs once per domain on first [get]. *)
+
+val get : 'a key -> 'a
+val set : 'a key -> 'a -> unit

@@ -6,9 +6,10 @@ type series = {
 let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
 
 let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ?(log_y = false) list =
-  let usable = List.filter (fun s -> s.points <> []) list in
-  if usable = [] then "(no data)\n"
-  else begin
+  let has_points s = match s.points with [] -> false | _ :: _ -> true in
+  match List.filter has_points list with
+  | [] -> "(no data)\n"
+  | usable -> begin
     let transform y = if log_y then log10 (Float.max 1e-12 y) else y in
     let all_points = List.concat_map (fun s -> s.points) usable in
     let xs = List.map fst all_points in

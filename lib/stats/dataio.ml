@@ -20,14 +20,18 @@ let read_series ~path =
     let rec loop acc current label blanks =
       match input_line ic with
       | exception End_of_file ->
-        let acc = if current = [] then acc else { label = Option.value label ~default:""; points = List.rev current } :: acc in
+        let acc =
+          match current with
+          | [] -> acc
+          | _ :: _ -> { label = Option.value label ~default:""; points = List.rev current } :: acc
+        in
         close_in ic;
         Ok (List.rev acc)
       | line ->
         let line = String.trim line in
         if line = "" then begin
           (* Two consecutive blank lines end a block. *)
-          if blanks >= 1 && current <> [] then
+          if blanks >= 1 && not (List.is_empty current) then
             loop ({ label = Option.value label ~default:""; points = List.rev current } :: acc) [] None 0
           else loop acc current label (blanks + 1)
         end

@@ -1,5 +1,5 @@
 let jain allocations =
-  if allocations = [] then invalid_arg "Fairness.jain: empty list";
+  if List.is_empty allocations then invalid_arg "Fairness.jain: empty list";
   assert (List.for_all (fun x -> x >= 0.0) allocations);
   let n = float_of_int (List.length allocations) in
   let total = List.fold_left ( +. ) 0.0 allocations in
@@ -7,7 +7,7 @@ let jain allocations =
   if squares = 0.0 then 0.0 else total *. total /. (n *. squares)
 
 let max_min_ratio allocations =
-  if allocations = [] then invalid_arg "Fairness.max_min_ratio: empty list";
+  if List.is_empty allocations then invalid_arg "Fairness.max_min_ratio: empty list";
   let max = List.fold_left Float.max neg_infinity allocations in
   let min = List.fold_left Float.min infinity allocations in
   if max <= 0.0 then 0.0 else min /. max

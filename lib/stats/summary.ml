@@ -10,7 +10,7 @@ type t = {
 }
 
 let percentile samples ~q =
-  if samples = [] then invalid_arg "Summary.percentile: empty list";
+  if List.is_empty samples then invalid_arg "Summary.percentile: empty list";
   if q < 0.0 || q > 1.0 then invalid_arg "Summary.percentile: q out of range";
   let sorted = Array.of_list samples in
   Array.sort Float.compare sorted;
@@ -19,7 +19,7 @@ let percentile samples ~q =
   sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
 
 let mean samples =
-  if samples = [] then invalid_arg "Summary.mean: empty list";
+  if List.is_empty samples then invalid_arg "Summary.mean: empty list";
   List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
 
 let of_list samples =

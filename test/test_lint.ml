@@ -77,7 +77,13 @@ let r3_detects () =
   check_rules "Array.stable_sort compare" [ "R3" ]
     [ ("bin/x.ml", "let () = Array.stable_sort compare a\n") ];
   check_rules "Stdlib.compare anywhere" [ "R3" ]
-    [ ("bin/x.ml", "let c = Stdlib.compare a b\n") ]
+    [ ("bin/x.ml", "let c = Stdlib.compare a b\n") ];
+  check_rules "structural = [] in an if condition" [ "R3" ]
+    [ ("bin/x.ml", "let f xs = if xs = [] then 0 else 1\n") ];
+  check_rules "structural <> [] before a connective" [ "R3" ]
+    [ ("bin/x.ml", "let g xs ok = xs <> [] && ok\n") ];
+  check_rules "structural = [] before ||" [ "R3" ]
+    [ ("bin/x.ml", "let h xs ok = xs = []\n  || ok\n") ]
 
 let r3_negatives () =
   check_rules "explicit comparator" []
@@ -85,7 +91,13 @@ let r3_negatives () =
   check_rules "custom function mentioning compare" []
     [ ("bin/x.ml", "let xs = List.sort compare_names xs\n") ];
   check_rules "lambda comparator" []
-    [ ("bin/x.ml", "let xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs\n") ]
+    [ ("bin/x.ml", "let xs = List.sort (fun (a, _) (b, _) -> String.compare a b) xs\n") ];
+  check_rules "empty-list binding is not a condition" []
+    [ ("bin/x.ml", "let xs = []\nlet f () = xs\n") ];
+  check_rules "match pattern [] is fine" []
+    [ ("bin/x.ml", "let f = function [] -> 0 | _ :: _ -> 1\n") ];
+  check_rules "composed operators are not bare equality" []
+    [ ("bin/x.ml", "let f r ok = r := []; !r >= [] && ok\n") ]
 
 (* --- R4 no-hash-order-dependence --- *)
 

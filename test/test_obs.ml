@@ -130,28 +130,136 @@ let sink_ring_drops_oldest () =
       done;
       Alcotest.(check int) "bounded length" 4 (Sink.length ());
       Alcotest.(check int) "drop count" 6 (Sink.dropped ());
+      Alcotest.(check (pair int int)) "stats is a consistent (length, dropped) pair" (4, 6)
+        (Sink.stats ());
       Alcotest.(check (list int)) "newest survive, sequence numbering global" [ 6; 7; 8; 9 ]
         (List.map (fun (r : Sink.recorded) -> r.Sink.seq) (Sink.events ()));
       Alcotest.check_raises "capacity must be positive"
         (Invalid_argument "Sink.enable: capacity must be positive") (fun () ->
           Sink.enable ~capacity:0 ()))
 
+(* --- per-run sinks --- *)
+
+let mark_name (r : Sink.recorded) =
+  match r.Sink.event with
+  | Event.Mark { name; _ } -> name
+  | e -> Event.kind e
+
+let per_run_sinks () =
+  with_telemetry (fun () ->
+      Sink.enable ();
+      Sink.record ~at:0.0 (Event.Mark { name = "global-before"; value = 0.0 });
+      let a = Sink.create () in
+      let b = Sink.create () in
+      Alcotest.(check (option string)) "no ambient run label" None (Sink.run_label ());
+      Sink.with_run ~run:"0" a (fun () ->
+          Alcotest.(check (option string)) "run label visible inside" (Some "0")
+            (Sink.run_label ());
+          Sink.record ~at:1.0 (Event.Mark { name = "a1"; value = 1.0 }));
+      Sink.with_run ~run:"1" b (fun () ->
+          Sink.record ~flow:"aux0" ~at:2.0 (Event.Mark { name = "b1"; value = 2.0 }));
+      Sink.with_run ~run:"0" a (fun () ->
+          Sink.record ~at:3.0 (Event.Mark { name = "a2"; value = 3.0 }));
+      Alcotest.(check (option string)) "run label restored" None (Sink.run_label ());
+      Alcotest.(check int) "private records stay out of the journal" 1 (Sink.length ());
+      Alcotest.(check (pair int int)) "handle stats" (2, 0) (Sink.stats_of a);
+      Sink.absorb a;
+      Sink.absorb b;
+      let events = Sink.events () in
+      Alcotest.(check (list string)) "concatenated in absorb order"
+        [ "global-before"; "a1"; "a2"; "b1" ]
+        (List.map mark_name events);
+      Alcotest.(check (list int)) "sequence numbers reassigned globally" [ 0; 1; 2; 3 ]
+        (List.map (fun (r : Sink.recorded) -> r.Sink.seq) events);
+      (match List.rev events with
+      | last :: _ ->
+        Alcotest.(check (option string)) "flow survives absorption" (Some "aux0") last.Sink.flow
+      | [] -> Alcotest.fail "journal empty");
+      Alcotest.(check (pair int int)) "absorbed handle is left empty" (0, 0) (Sink.stats_of a))
+
+(* --- labeled metric families --- *)
+
+let family_resolution () =
+  with_telemetry (fun () ->
+      let fam = Metrics.counter_family "test.family.requests" in
+      let c1 = Metrics.labeled fam [ ("run", "1"); ("flow", "primary") ] in
+      let c2 = Metrics.labeled fam [ ("flow", "primary"); ("run", "1") ] in
+      Metrics.incr c1;
+      Metrics.incr c2;
+      Alcotest.(check int) "label order is canonicalized to one child" 2 (Metrics.count c1);
+      Alcotest.(check string) "rendered name sorts keys"
+        "test.family.requests{flow=\"primary\",run=\"1\"}" (Metrics.counter_name c1);
+      Alcotest.(check int) "one child registered" 1 (Metrics.family_children fam);
+      let bare = Metrics.labeled fam [] in
+      Metrics.add bare 3;
+      Alcotest.(check int) "empty label set is the plain counter" 3
+        (Metrics.count (Metrics.counter "test.family.requests"));
+      let snap = Metrics.snapshot ~at:0.0 in
+      Alcotest.(check (option int)) "child appears under its rendered name" (Some 2)
+        (List.assoc_opt "test.family.requests{flow=\"primary\",run=\"1\"}" snap.Metrics.counters);
+      let names = List.map fst snap.Metrics.counters in
+      Alcotest.(check (list string)) "family children keep the snapshot name-sorted"
+        (List.sort String.compare names) names;
+      Alcotest.check_raises "duplicate label keys rejected"
+        (Invalid_argument "Metrics: duplicate label key \"run\" in family test.family.requests")
+        (fun () -> ignore (Metrics.labeled fam [ ("run", "1"); ("run", "2") ]));
+      Alcotest.check_raises "malformed label keys rejected"
+        (Invalid_argument "Metrics: invalid label key \"bad key\" in family test.family.requests")
+        (fun () -> ignore (Metrics.labeled fam [ ("bad key", "v") ])))
+
+let family_cardinality_cap () =
+  with_telemetry (fun () ->
+      let base = Metrics.family_overflows () in
+      let fam = Metrics.counter_family ~max_children:2 "test.family.capped" in
+      let a = Metrics.labeled fam [ ("flow", "a") ] in
+      let b = Metrics.labeled fam [ ("flow", "b") ] in
+      let c = Metrics.labeled fam [ ("flow", "c") ] in
+      let d = Metrics.labeled fam [ ("flow", "d") ] in
+      Alcotest.(check int) "children never exceed the cap" 2 (Metrics.family_children fam);
+      Alcotest.(check int) "each over-cap resolution is counted" (base + 2)
+        (Metrics.family_overflows ());
+      Alcotest.(check string) "over-cap label sets route to the reserved child"
+        "test.family.capped{other=\"true\"}" (Metrics.counter_name c);
+      Alcotest.(check bool) "all overflow traffic shares one child" true (c == d);
+      Metrics.incr a;
+      Metrics.incr b;
+      Metrics.incr c;
+      Metrics.incr d;
+      Alcotest.(check int) "the other child aggregates" 2 (Metrics.count c);
+      Alcotest.(check bool) "known children still resolve after the cap" true
+        (a == Metrics.labeled fam [ ("flow", "a") ]);
+      Alcotest.(check int) "known children do not count as overflow" (base + 2)
+        (Metrics.family_overflows ());
+      Alcotest.check_raises "cap must be positive"
+        (Invalid_argument "Metrics: max_children must be positive") (fun () ->
+          ignore (Metrics.counter_family ~max_children:0 "test.family.bad")))
+
 (* --- exporters --- *)
 
 let jsonl_shape () =
-  let r = { Sink.at = 1.5; seq = 7; event = Event.Packet_send { flow = "primary"; seq = 3; bits = 8000 } } in
+  let r =
+    {
+      Sink.at = 1.5;
+      seq = 7;
+      flow = Some "primary";
+      event = Event.Packet_send { seq = 3; bits = 8000 };
+    }
+  in
   Alcotest.(check string) "jsonl line"
     "{\"t\":1.5,\"n\":7,\"event\":\"packet_send\",\"flow\":\"primary\",\"seq\":3,\"bits\":8000}"
     (Export.jsonl_line r);
+  Alcotest.(check string) "no flow field on unattributed records"
+    "{\"t\":1.5,\"n\":7,\"event\":\"packet_send\",\"seq\":3,\"bits\":8000}"
+    (Export.jsonl_line { r with Sink.flow = None });
   Alcotest.(check string) "jsonl is newline-terminated" (Export.jsonl_line r ^ "\n")
     (Export.jsonl [ r ])
 
 let chrome_shape () =
   let records =
     [
-      { Sink.at = 0.5; seq = 0; event = Event.Timeout { seq = 1 } };
-      { Sink.at = 1.0; seq = 1; event = Event.Packet_ack { flow = "primary"; seq = 1 } };
-      { Sink.at = 2.0; seq = 2; event = Event.Timeout { seq = 2 } };
+      { Sink.at = 0.5; seq = 0; flow = None; event = Event.Timeout { seq = 1 } };
+      { Sink.at = 1.0; seq = 1; flow = Some "primary"; event = Event.Packet_ack { seq = 1 } };
+      { Sink.at = 2.0; seq = 2; flow = Some "aux0"; event = Event.Timeout { seq = 2 } };
     ]
   in
   let out = Export.chrome records in
@@ -164,7 +272,14 @@ let chrome_shape () =
   Alcotest.(check bool) "instant events" true (contains "\"ph\":\"i\"" out);
   Alcotest.(check bool) "microsecond timestamps" true (contains "\"ts\":500000" out);
   Alcotest.(check bool) "one tid lane per kind" true
-    (contains "\"tid\":1" out && contains "\"tid\":2" out)
+    (contains "\"tid\":1" out && contains "\"tid\":2" out);
+  Alcotest.(check bool) "one pid process per flow, first-appearance order" true
+    (contains "\"pid\":2" out && contains "\"pid\":3" out);
+  Alcotest.(check bool) "process_name metadata names the flows" true
+    (contains "\"ph\":\"M\"" out
+    && contains "{\"name\":\"sim\"}" out
+    && contains "{\"name\":\"flow primary\"}" out
+    && contains "{\"name\":\"flow aux0\"}" out)
 
 let series_extraction () =
   let records =
@@ -172,12 +287,14 @@ let series_extraction () =
       {
         Sink.at = 1.0;
         seq = 0;
+        flow = None;
         event = Event.Belief_update { size = 10; entropy = 2.0; ess = 8.0; status = "consistent" };
       };
-      { Sink.at = 1.5; seq = 1; event = Event.Timeout { seq = 4 } };
+      { Sink.at = 1.5; seq = 1; flow = None; event = Event.Timeout { seq = 4 } };
       {
         Sink.at = 2.0;
         seq = 2;
+        flow = None;
         event = Event.Planner_decide { action = "send_now"; delay = 0.0; margin = 0.5; candidates = 4 };
       };
     ]
@@ -265,6 +382,60 @@ let journal_domain_invariance =
               "metrics snapshot differs between 1 and 4 domains (seed %d)" seed;
           serial_journal <> ""))
 
+(* --- sweep byte-identity ---
+
+   run_many records each run into a private per-run sink and absorbs
+   them in run-index order, so the concatenated journal is byte-identical
+   at any pool size. Counters are atomic (exact totals); gauges,
+   histograms and spans are only order-independent through their labeled
+   per-run/per-flow children, so the metrics side of this property
+   compares all counters plus the labeled subset of everything else. *)
+
+let sweep_fingerprint at =
+  let snap = Metrics.snapshot ~at in
+  let labeled entries = List.filter (fun (n, _) -> String.contains n '{') entries in
+  String.concat "\n"
+    (List.map (fun (n, c) -> Printf.sprintf "c %s %d" n c) snap.Metrics.counters
+    @ List.map (fun (n, v) -> Printf.sprintf "g %s %h" n v) (labeled snap.Metrics.gauges)
+    @ List.map
+        (fun (n, h) ->
+          Printf.sprintf "h %s %d %h %s" n h.Metrics.hv_total h.Metrics.hv_sum
+            (String.concat ";" (List.map string_of_int h.Metrics.hv_counts)))
+        (labeled snap.Metrics.histograms)
+    @ List.map
+        (fun (n, s) -> Printf.sprintf "s %s %d %h" n s.Metrics.sv_calls s.Metrics.sv_sim_seconds)
+        (labeled snap.Metrics.spans))
+
+let sweep_of domains configs =
+  Pool.set_default_domains domains;
+  with_telemetry (fun () ->
+      Sink.enable ();
+      ignore (Harness.run_many configs);
+      (Export.jsonl (Sink.events ()), sweep_fingerprint 0.0))
+
+let sweep_domain_invariance =
+  QCheck.Test.make ~name:"run_many journal and labeled families are pool-size invariant"
+    ~count:1
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let configs =
+        List.map
+          (fun s -> { (short_config s) with Harness.duration = 5.0 })
+          [ seed; seed + 1000; seed + 2000 ]
+      in
+      Fun.protect
+        ~finally:(fun () -> Pool.set_default_domains 1)
+        (fun () ->
+          let serial_journal, serial_metrics = sweep_of 1 configs in
+          let pooled_journal, pooled_metrics = sweep_of 4 configs in
+          if serial_journal <> pooled_journal then
+            QCheck.Test.fail_reportf "sweep journal differs between 1 and 4 domains (seed %d)"
+              seed;
+          if serial_metrics <> pooled_metrics then
+            QCheck.Test.fail_reportf
+              "sweep labeled families differ between 1 and 4 domains (seed %d)" seed;
+          serial_journal <> ""))
+
 let suite =
   [
     ("counters", `Quick, counters_count_when_enabled);
@@ -274,10 +445,14 @@ let suite =
     ("snapshot sorted, profile excluded", `Quick, snapshot_is_sorted_and_profile_free);
     ("sink order and disable", `Quick, sink_records_in_order);
     ("sink ring buffer", `Quick, sink_ring_drops_oldest);
+    ("per-run sinks", `Quick, per_run_sinks);
+    ("family label resolution", `Quick, family_resolution);
+    ("family cardinality cap", `Quick, family_cardinality_cap);
     ("jsonl export", `Quick, jsonl_shape);
     ("chrome export", `Quick, chrome_shape);
     ("series extraction", `Quick, series_extraction);
     ("trace ring buffer", `Quick, trace_ring_buffer);
     ("trace unbounded default", `Quick, trace_unbounded_default);
     QCheck_alcotest.to_alcotest ~long:false journal_domain_invariance;
+    QCheck_alcotest.to_alcotest ~long:false sweep_domain_invariance;
   ]

@@ -62,6 +62,54 @@ let sort_functions =
     "Array.fast_sort";
   ]
 
+(* [xs = []] / [xs <> []] in a condition is structural (polymorphic)
+   equality in disguise. It happens to terminate on lists, but it is the
+   same bug family R3 exists for — one abstract type in the elements and
+   it raises at runtime. Only flag when the [[]] is a condition operand
+   (followed by [&&], [||] or [then]): a bare [= []] elsewhere is usually
+   a pattern binding or a default value the parser already disambiguates. *)
+let check_r3_empty_list (src : Source.t) code =
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let rec back i = if i >= 0 && is_ws code.[i] then back (i - 1) else i in
+  Textscan.find_token code ~token:"[]"
+  |> List.filter_map (fun pos ->
+         let j = back (pos - 1) in
+         let op =
+           if j >= 0 && code.[j] = '=' then
+             (* A bare [=] only: [>=], [<=], [==], [!=], [:=] and friends
+                compose a different operator. *)
+             if
+               j > 0
+               && String.contains "<>=!:+-*/@^&|$%" code.[j - 1]
+             then None
+             else Some "="
+           else if j >= 1 && code.[j] = '>' && code.[j - 1] = '<' then Some "<>"
+           else None
+         in
+         match op with
+         | None -> None
+         | Some op ->
+           let after = Textscan.skip_ws code ~pos:(pos + 2) in
+           let starts_with s =
+             after + String.length s <= String.length code
+             && String.sub code after (String.length s) = s
+           in
+           let in_condition =
+             starts_with "&&" || starts_with "||"
+             || (match Textscan.next_token code ~pos:after with
+                | Some (_, "then") -> true
+                | _ -> false)
+           in
+           if in_condition then
+             Some
+               (diag src ~pos ~rule:"R3"
+                  ~message:
+                    (Printf.sprintf
+                       "structural %s [] in a condition is polymorphic equality: match on the \
+                        list (or test with a pattern) instead"
+                       op))
+           else None)
+
 let check_r3 (src : Source.t) =
   let code = src.Source.code in
   let stdlib_compare =
@@ -90,7 +138,7 @@ let check_r3 (src : Source.t) =
                | _ -> None))
       sort_functions
   in
-  stdlib_compare @ sort_sites
+  stdlib_compare @ sort_sites @ check_r3_empty_list src code
 
 (* --- R4 no-hash-order-dependence --- *)
 
@@ -262,8 +310,8 @@ let all =
       id = "R3";
       name = "no-polymorphic-compare";
       doc =
-        "Stdlib.compare, and bare `compare` at sort call sites, are forbidden; use \
-         type-specific comparators.";
+        "Stdlib.compare, bare `compare` at sort call sites, and structural `= []` / `<> []` \
+         in conditions are forbidden; use type-specific comparators and list patterns.";
       check = check_r3;
     };
     {
