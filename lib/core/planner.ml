@@ -107,6 +107,8 @@ let record_decision ~now ~evaluations decision =
          { action; delay; margin; candidates = List.length evaluations })
   end
 
+(* lint:hotpath -- the EU sweep prices every (hypothesis x delay) pair
+   per decision; ROADMAP hot-path program tracks its allocations *)
 let decide ?pool config ~belief ~now ~pending ~make_packet =
   validate config;
   Utc_obs.Metrics.span ~name:"planner.decide" (fun () ->
@@ -132,25 +134,25 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
        in exactly the serial order (bit-identical for any pool size). *)
     let price hyp =
       let weight = exp (hyp.Belief.logw -. z) in
-      let plan_config = { (Forward.config_of hyp.Belief.prepared) with Forward.fork_gates = false } in
+      let plan_config = { (Forward.config_of hyp.Belief.prepared) with Forward.fork_gates = false } in (* lint:allow R11 -- per-hypothesis plan config: rollouts price with gate forking off *)
       let prepared = Forward.prepare plan_config (Forward.compiled_of hyp.Belief.prepared) in
-      let utility_of sends =
+      let utility_of sends = (* lint:allow R11 -- closure over this hypothesis' prepared model and state *)
         let outcomes = Forward.run prepared hyp.Belief.state ~sends ~until:t_end in
         Utility.of_outcomes config.utility ~now outcomes
       in
       let baseline = utility_of pending in
       Array.map
-        (fun d ->
+        (fun d -> (* lint:allow R11 -- per-candidate send list; bounded by #delays *)
           let sends = pending @ strategy_sends config ~now ~make_packet d ~t_end in
           weight *. (utility_of sends -. baseline))
         candidates
     in
     let net = Array.make n 0.0 in
     List.iter
-      (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution)
+      (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution) (* lint:allow R11 -- per-contribution reduce closure; bounded by #hypotheses *)
       (Utc_parallel.Pool.map_list pool ~f:price hyps);
     let evaluations =
-      Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates)
+      Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates) (* lint:allow R11 -- decision report row, built once per decide *)
     in
     let best = Array.fold_left Float.max neg_infinity net in
     let decision =

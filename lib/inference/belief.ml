@@ -172,6 +172,8 @@ let take_drop n items =
   in
   go n [] items
 
+(* lint:hotpath -- expand/score/compact runs per hypothesis per tick;
+   ROADMAP hot-path program tracks its allocations *)
 let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
   let pool =
     match pool with
@@ -181,17 +183,17 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
   let expand hyp =
     let offset = t.obs_offset hyp.params in
     let outcomes = Forward.run ?until_prio:now_prio hyp.prepared hyp.state ~sends ~until:now in
-    let keep (o : Forward.outcome) =
+    let keep (o : Forward.outcome) = (* lint:allow R11 -- per-hypothesis outcome scorer closes over offset and acks *)
       (* Only primary deliveries are observable; those whose (offset)
          acknowledgment is due by now are scored, the rest carry over. *)
       let observable =
         List.filter
-          (fun (d : Forward.delivery) -> Flow.equal d.packet.Packet.flow Flow.Primary)
+          (fun (d : Forward.delivery) -> Flow.equal d.packet.Packet.flow Flow.Primary) (* lint:allow R11 -- per-outcome observability filter; delivery lists are short *)
           o.Forward.deliveries
       in
       let due, awaiting =
         List.partition
-          (fun (d : Forward.delivery) -> Tb.( <=. ) (d.time +. offset) (now +. t.tick))
+          (fun (d : Forward.delivery) -> Tb.( <=. ) (d.time +. offset) (now +. t.tick)) (* lint:allow R11 -- per-outcome due/awaiting split *)
           (hyp.awaiting @ observable)
       in
       let ll =
@@ -202,7 +204,7 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
       | Some ll ->
         let logw = hyp.logw +. o.logw +. ll in
         if logw = neg_infinity then None
-        else Some { hyp with state = o.state; logw; awaiting }
+        else Some { hyp with state = o.state; logw; awaiting } (* lint:allow R11 -- the surviving fork IS the posterior hypothesis record *)
     in
     List.filter_map keep outcomes
   in
@@ -214,15 +216,15 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
   let order = ref [] in
   let absorb h =
     let key =
-      Marshal.to_string h.params [] ^ Mstate.canonical h.state
+      Marshal.to_string h.params [] ^ Mstate.canonical h.state (* lint:allow R11 -- compaction key: canonical bytes are what gets hashed *)
       ^ Marshal.to_string h.awaiting []
     in
     match Hashtbl.find_opt table key with
     | None ->
       Hashtbl.replace table key h;
-      order := key :: !order
+      order := key :: !order (* lint:allow R11 -- insertion-order key list keeps the merge deterministic *)
     | Some existing ->
-      Hashtbl.replace table key { existing with logw = Logw.logsumexp [ existing.logw; h.logw ] }
+      Hashtbl.replace table key { existing with logw = Logw.logsumexp [ existing.logw; h.logw ] } (* lint:allow R11 -- merged-weight update, one record per duplicate fork *)
   in
   (* Hypotheses are independent — each owns its state and the only shared
      input is the read-only prepared model — so [expand] fans across the
@@ -307,6 +309,7 @@ let record_update t status =
              | All_rejected -> "all_rejected");
          })
 
+(* lint:hotpath *)
 let update ?pool t ~sends ~acks ~now ?now_prio () =
   Utc_obs.Metrics.span ~name:"belief.update" (fun () ->
       let result =

@@ -30,9 +30,12 @@ let disable () = enabled_flag := false
 (* The registration tables are only mutated when a handle is first
    created (module-init time in practice); the lock makes late
    registration — including family children resolved mid-run — safe.
-   Value mutation is lock-free by contract: gauge and histogram sites
-   live in serial sections (or in label-disjoint family children), which
-   is also what makes snapshots deterministic. *)
+   The same lock guards every non-atomic value mutation: gauge sets,
+   histogram observations and span totals are plain read-modify-writes
+   on process-global records, and pooled sweeps reach them from several
+   domains at once (label-disjoint children still share the record's
+   cache line with the registry). Counters stay lock-free Atomics; the
+   disabled path never takes the lock. *)
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
@@ -67,8 +70,10 @@ let gauge_value g = if g.set then Some g.value else None
 
 let set_gauge g v =
   if !enabled_flag then begin
+    Mutex.lock lock;
     g.value <- v;
-    g.set <- true
+    g.set <- true;
+    Mutex.unlock lock
   end
 
 let default_buckets = [ 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7 ]
@@ -97,9 +102,11 @@ let observe h v =
     let n = Array.length h.bounds in
     let rec slot i = if i >= n then n else if v <= h.bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
+    Mutex.lock lock;
     h.counts.(i) <- h.counts.(i) + 1;
     h.total <- h.total + 1;
-    h.sum <- h.sum +. v
+    h.sum <- h.sum +. v;
+    Mutex.unlock lock
   end
 
 let span_entry name =
@@ -118,11 +125,17 @@ let span ?now ~name f =
     in
     Fun.protect
       ~finally:(fun () ->
+        let wall = Obs_clock.elapsed_since wall0 in
+        let sim =
+          match now with
+          | Some n -> n () -. sim0
+          | None -> 0.0
+        in
+        Mutex.lock lock;
         s.calls <- s.calls + 1;
-        s.wall_seconds <- s.wall_seconds +. Obs_clock.elapsed_since wall0;
-        match now with
-        | Some n -> s.sim_seconds <- s.sim_seconds +. (n () -. sim0)
-        | None -> ())
+        s.wall_seconds <- s.wall_seconds +. wall;
+        s.sim_seconds <- s.sim_seconds +. sim;
+        Mutex.unlock lock)
       f
   end
 

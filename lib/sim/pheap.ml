@@ -28,6 +28,7 @@ let grow t =
   Array.blit t.arr 0 arr 0 t.size;
   t.arr <- arr
 
+(* lint:hotpath *)
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -39,6 +40,7 @@ let rec sift_up t i =
     end
   end
 
+(* lint:hotpath *)
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
@@ -51,6 +53,7 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
+(* lint:hotpath *)
 let add ?(prio = 0) t ~time payload =
   if t.size = Array.length t.arr then grow t;
   t.arr.(t.size) <- Some { time; prio; tie = t.next_tie; payload };
@@ -60,6 +63,7 @@ let add ?(prio = 0) t ~time payload =
 
 let min_time t = if t.size = 0 then None else Some (get t 0).time
 
+(* lint:hotpath *)
 let pop t =
   if t.size = 0 then None
   else begin

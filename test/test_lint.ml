@@ -235,6 +235,342 @@ let pheap_permutation_prop =
       in
       drain [] = List.sort Int.compare prios)
 
+(* --- R9 no-unsynchronized-shared-mutation (static race detector) --- *)
+
+(* The pre-PR-6 Metrics shape: registration is mutex-guarded, value
+   mutation is not. A pool job resolving a handle and writing through it
+   is exactly the gauge race fixed in lib/obs/metrics.ml — deleting that
+   fix reproduces this diagnostic. *)
+let met_unguarded =
+  "let lock = Mutex.create ()\n\
+   let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 8\n\
+   let gauge name =\n\
+  \  Mutex.lock lock;\n\
+  \  let g =\n\
+  \    match Hashtbl.find_opt gauges name with\n\
+  \    | Some g -> g\n\
+  \    | None ->\n\
+  \      let g = ref 0.0 in\n\
+  \      Hashtbl.replace gauges name g;\n\
+  \      g\n\
+  \  in\n\
+  \  Mutex.unlock lock;\n\
+  \  g\n\
+   let set g v = g := v\n"
+
+let met_guarded =
+  met_unguarded ^ "let set_safe g v = Mutex.lock lock; g := v; Mutex.unlock lock\n"
+
+let met_user set_fn =
+  Printf.sprintf
+    "let run pool xs =\n\
+    \  let g = Met.gauge \"depth\" in\n\
+    \  Utc_parallel.Pool.map_list pool ~f:(fun x -> Met.%s g (float_of_int x)) xs\n"
+    set_fn
+
+let r9_registry_handle () =
+  check_rules "pool job writes a registry handle through an unguarded setter" [ "R9" ]
+    [
+      ("lib/obs/met.ml", met_unguarded); ("lib/obs/met.mli", "");
+      ("lib/exp/run.ml", met_user "set"); ("lib/exp/run.mli", "");
+    ];
+  check_rules "mutex-guarded setter passes" []
+    [
+      ("lib/obs/met.ml", met_guarded); ("lib/obs/met.mli", "");
+      ("lib/exp/run.ml", met_user "set_safe"); ("lib/exp/run.mli", "");
+    ]
+
+let r9_atomic_vs_plain () =
+  (* The lib/parallel shape: an Atomic counter is safe; degrading it to a
+     plain ref (deleting the Atomic) reproduces the diagnostic. *)
+  let user = "let go pool xs = Utc_parallel.Pool.map_list pool ~f:(fun _ -> Acc.bump ()) xs\n" in
+  check_rules "Atomic counter bumped from a pool job" []
+    [
+      ("lib/parallel/acc.ml", "let hits = Atomic.make 0\nlet bump () = Atomic.incr hits\n");
+      ("lib/parallel/acc.mli", "");
+      ("bin/go.ml", user);
+    ];
+  check_rules "plain ref counter bumped from a pool job" [ "R9" ]
+    [
+      ("lib/parallel/acc.ml", "let hits = ref 0\nlet bump () = incr hits\n");
+      ("lib/parallel/acc.mli", "");
+      ("bin/go.ml", user);
+    ]
+
+let r9_direct_and_local () =
+  check_rules "job closure writes a module-level ref directly" [ "R9" ]
+    [
+      ( "bin/j.ml",
+        "let total = ref 0.0\n\
+         let run pool xs = Utc_parallel.Pool.map_list pool ~f:(fun x -> total := x) xs\n" );
+    ];
+  check_rules "job-local fresh state is fine" []
+    [
+      ( "bin/j.ml",
+        "let run pool xs =\n\
+        \  Utc_parallel.Pool.map_list pool\n\
+        \    ~f:(fun x ->\n\
+        \      let h = Hashtbl.create 4 in\n\
+        \      Hashtbl.replace h x x;\n\
+        \      Hashtbl.length h)\n\
+        \    xs\n" );
+    ]
+
+let r9_suppression () =
+  let racy =
+    "let total = ref 0.0\n\
+     let run pool xs = Utc_parallel.Pool.map_list pool ~f:(fun x -> total := x) xs (* lint:allow R9 -- test: summed after join *)\n"
+  in
+  check_rules "inline suppression silences the job finding" [] [ ("bin/j.ml", racy) ];
+  let unsuppressed =
+    "let total = ref 0.0\n\
+     let run pool xs = Utc_parallel.Pool.map_list pool ~f:(fun x -> total := x) xs\n"
+  in
+  check_rules "allowlist subtree entry applies to R9" []
+    ~allowlist:(L.Allowlist.of_string "R9 bin/\n")
+    [ ("bin/j.ml", unsuppressed) ]
+
+(* --- R10 pure-inference --- *)
+
+let r10_detects () =
+  check_rules "direct IO in lib/inference" [ "R10" ]
+    [ ("lib/inference/bel.ml", "let dump x = output_string stdout (string_of_int x)\n");
+      ("lib/inference/bel.mli", "") ];
+  check_rules "global mutation in lib/model" [ "R10" ]
+    [ ("lib/model/m.ml", "let total = ref 0\nlet bump n = total := !total + n\n");
+      ("lib/model/m.mli", "") ];
+  check_rules "IO reached transitively through another layer" [ "R10" ]
+    [
+      ("lib/inference/bel.ml", "let report x = Dump.emit x\n"); ("lib/inference/bel.mli", "");
+      ("lib/stats/dump.ml", "let emit x = output_string stdout x\n"); ("lib/stats/dump.mli", "");
+    ]
+
+let r10_negatives () =
+  check_rules "local mutation is pure enough" []
+    [
+      ( "lib/utility/u.ml",
+        "let sum xs =\n\
+        \  let acc = ref 0 in\n\
+        \  List.iter (fun x -> acc := !acc + x) xs;\n\
+        \  !acc\n" );
+      ("lib/utility/u.mli", "");
+    ];
+  check_rules "mutex-guarded telemetry is sanctioned" []
+    [
+      ("lib/obs/met.ml", met_guarded); ("lib/obs/met.mli", "");
+      ( "lib/inference/bel.ml",
+        "let observe v =\n  let g = Met.gauge \"belief\" in\n  Met.set_safe g v\n" );
+      ("lib/inference/bel.mli", "");
+    ];
+  check_rules "the same code outside the protected layers is not R10's business" []
+    [ ("lib/stats/s.ml", "let total = ref 0\nlet bump n = total := !total + n\n");
+      ("lib/stats/s.mli", "") ]
+
+(* --- R11 hotpath-alloc --- *)
+
+let r11_detects () =
+  check_rules "self-recursive hotpath consing" [ "R11" ]
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\nlet rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc)\n") ];
+  check_rules "string concat in a for loop" [ "R11" ]
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\n\
+        let f () =\n\
+        \  for i = 0 to 9 do\n\
+        \    ignore (string_of_int i ^ \"x\")\n\
+        \  done\n") ];
+  check_rules "list cell built per element of an iterator" [ "R11" ]
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\nlet f xs = List.map (fun x -> [ x ]) xs\n") ]
+
+let r11_negatives () =
+  check_rules "unannotated functions may allocate" []
+    [ ("bin/hp.ml", "let rec build n acc = if n = 0 then acc else build (n - 1) (n :: acc)\n") ];
+  check_rules "swap-only loops are clean" []
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\n\
+        let bubble a =\n\
+        \  for i = 0 to Array.length a - 2 do\n\
+        \    if a.(i) > a.(i + 1) then begin\n\
+        \      let t = a.(i) in\n\
+        \      a.(i) <- a.(i + 1);\n\
+        \      a.(i + 1) <- t\n\
+        \    end\n\
+        \  done\n") ];
+  check_rules "allocation outside the loop is fine" []
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\n\
+        let f n =\n\
+        \  let buf = Array.make n 0 in\n\
+        \  for i = 0 to n - 1 do\n\
+        \    buf.(i) <- i * i\n\
+        \  done;\n\
+        \  buf\n" ) ]
+
+let r11_justification () =
+  check_rules "an inline justification keeps the inventory clean" []
+    [ ("bin/hp.ml",
+       "(* lint:hotpath *)\n\
+        let rec build n acc =\n\
+        \  if n = 0 then acc\n\
+        \  else build (n - 1) (n :: acc) (* lint:allow R11 -- test: bounded by n *)\n") ]
+
+(* --- R12 no-swallowed-exceptions --- *)
+
+let r12_detects () =
+  check_rules "wildcard catch" [ "R12" ]
+    [ ("bin/t.ml", "let guard f = try f () with _ -> 0\n") ];
+  check_rules "wildcard among specific cases" [ "R12" ]
+    [ ("bin/t.ml", "let guard f = try f () with Not_found -> 1 | _ -> 0\n") ];
+  check_rules "specific exceptions are fine" []
+    [ ("bin/t.ml", "let guard f = try f () with Not_found -> 0 | Failure _ -> 1\n") ];
+  check_rules "binding the exception is fine" []
+    [ ("bin/t.ml", "let guard f = try f () with e -> raise e\n") ];
+  check_rules "inline suppression" []
+    [ ("bin/t.ml", "let guard f = try f () with _ -> 0 (* lint:allow R12 -- test: default *)\n") ]
+
+(* --- call graph unit tests --- *)
+
+let graph_of files =
+  let asts =
+    List.filter_map
+      (fun (path, contents) -> L.Ast_source.parse (L.Source.of_string ~path contents))
+      files
+  in
+  L.Callgraph.build (List.concat_map L.Effects.summarize asts)
+
+let one graph ~from_module name =
+  match L.Callgraph.resolve graph ~from_module name with
+  | [ s ] -> s
+  | ss -> Alcotest.failf "expected one summary for %s (from %s), got %d" name from_module
+            (List.length ss)
+
+let callgraph_cycles () =
+  let graph =
+    graph_of
+      [ ("bin/cyc.ml",
+         "let rec ping n = if n = 0 then [] else pong (n - 1)\nand pong n = ping n\n") ]
+  in
+  let names =
+    List.sort String.compare
+      (List.map
+         (fun (s : L.Effects.summary) -> s.L.Effects.s_name)
+         (L.Callgraph.reachable graph (one graph ~from_module:"Cyc" "ping")))
+  in
+  Alcotest.(check (list string)) "reachability terminates on the cycle" [ "ping"; "pong" ] names;
+  Alcotest.(check bool) "a cycle is never provably fresh" false
+    (L.Callgraph.returns_fresh graph ~from_module:"Cyc" "ping")
+
+let callgraph_freshness () =
+  let graph =
+    graph_of
+      [ ("bin/fr.ml",
+         "let make () = Hashtbl.create 8\n\
+          let wrap () = make ()\n\
+          let get t = Hashtbl.find_opt t \"k\"\n") ]
+  in
+  let fresh name = L.Callgraph.returns_fresh graph ~from_module:"Fr" name in
+  Alcotest.(check bool) "direct constructor" true (fresh "make");
+  Alcotest.(check bool) "freshness closes over the graph" true (fresh "wrap");
+  Alcotest.(check bool) "a lookup is not fresh" false (fresh "get");
+  Alcotest.(check bool) "unresolved paths are not fresh" false (fresh "Registry.find")
+
+let callgraph_shadowed_names () =
+  (* Shadow_a.tick mutates a global; Shadow_b defines its own tick. An
+     unqualified call in B must resolve inside B only — linking by bare
+     name across modules would smear A's effects onto B. *)
+  let shadow_a = ("bin/shadow_a.ml", "let count = ref 0\nlet tick () = incr count\n") in
+  check_rules "unqualified call resolves in its own module" []
+    [
+      shadow_a;
+      ( "bin/shadow_b.ml",
+        "let tick () = ()\n\
+         let use pool xs = Utc_parallel.Pool.map_list pool ~f:(fun _ -> tick ()) xs\n" );
+    ];
+  check_rules "the qualified call still links cross-module" [ "R9" ]
+    [
+      shadow_a;
+      ( "bin/shadow_b.ml",
+        "let tick () = ()\n\
+         let use pool xs = Utc_parallel.Pool.map_list pool ~f:(fun _ -> Shadow_a.tick ()) xs\n" );
+    ]
+
+let callgraph_functor_bodies () =
+  (* Effects inside functor bodies are summarized and linked like any
+     other module: reachability does not need functor application. *)
+  let graph =
+    graph_of
+      [
+        ("bin/helper.ml", "let count = ref 0\nlet bump () = incr count\n");
+        ("bin/fmod.ml",
+         "module Make (X : sig val n : int end) = struct\n  let go () = Helper.bump ()\nend\n");
+      ]
+  in
+  let names =
+    List.sort String.compare
+      (List.map
+         (fun (s : L.Effects.summary) -> s.L.Effects.s_name)
+         (L.Callgraph.reachable graph (one graph ~from_module:"Make" "go")))
+  in
+  (* [count] rides along: a bare mention of a module-level value links it
+     into the graph, same as a function passed by name. *)
+  Alcotest.(check (list string)) "functor body reaches the helper" [ "bump"; "count"; "go" ]
+    names
+
+(* --- output formats --- *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let report_formats () =
+  let diags =
+    [
+      L.Diagnostic.make ~path:"lib/a.ml" ~line:3 ~rule:"R9" ~message:"say \"hi\"";
+      L.Diagnostic.make ~path:"lib/b.ml" ~line:7 ~rule:"R12" ~message:"plain";
+    ]
+  in
+  let json = L.Report.render L.Report.Json diags in
+  Alcotest.(check bool) "json escapes quotes" true
+    (contains ~needle:"\"message\": \"say \\\"hi\\\"\"" json);
+  let sarif = L.Report.render L.Report.Sarif diags in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "sarif contains %s" needle) true
+        (contains ~needle sarif))
+    [ "\"version\": \"2.1.0\""; "\"ruleId\": \"R9\""; "\"startLine\": 7"; "\"id\": \"R11\"" ];
+  Alcotest.(check string) "text format unchanged"
+    "lib/a.ml:3: R9 say \"hi\"\nlib/b.ml:7: R12 plain\n"
+    (L.Report.render L.Report.Text diags)
+
+(* --- AST diagnostics are stable under comment/whitespace noise --- *)
+
+let pert_fixture =
+  "(* lint:hotpath *)\n\
+   let rec build n acc =\n\
+  \  if n = 0 then acc else build (n - 1) (n :: acc)\n\
+   let total = ref 0\n\
+   let sweep pool xs =\n\
+  \  Utc_parallel.Pool.map_list pool ~f:(fun x -> total := x) xs\n\
+   let guard f = try f () with _ -> 0\n\
+   let seed = Random.int 10\n"
+
+let perturbation_prop =
+  QCheck.Test.make
+    ~name:"lint diagnostics stable under comment/whitespace perturbation" ~count:100
+    QCheck.(pair (list bool) (list bool))
+    (fun (lead, trail) ->
+      let nth flags i = match List.nth_opt flags i with Some b -> b | None -> false in
+      let perturbed =
+        String.split_on_char '\n' pert_fixture
+        |> List.mapi (fun i line ->
+               let line = if nth lead i then "  " ^ line else line in
+               if nth trail i && not (String.equal line "") then line ^ " (* noise *)" else line)
+        |> String.concat "\n"
+      in
+      run [ ("bin/p.ml", perturbed) ] = run [ ("bin/p.ml", pert_fixture) ])
+
 let suite =
   [
     ("scanner blanks non-code", `Quick, scanner_blanks_noncode);
@@ -254,5 +590,21 @@ let suite =
     ("R8 examples allowlist", `Quick, r8_examples_allowlist);
     ("allowlist semantics", `Quick, allowlist_semantics);
     ("diagnostic format", `Quick, diagnostic_format);
+    ("R9 registry handle race", `Quick, r9_registry_handle);
+    ("R9 atomic vs plain counter", `Quick, r9_atomic_vs_plain);
+    ("R9 direct and job-local state", `Quick, r9_direct_and_local);
+    ("R9 suppression", `Quick, r9_suppression);
+    ("R10 detects impurity", `Quick, r10_detects);
+    ("R10 negatives", `Quick, r10_negatives);
+    ("R11 detects hotpath allocs", `Quick, r11_detects);
+    ("R11 negatives", `Quick, r11_negatives);
+    ("R11 justification", `Quick, r11_justification);
+    ("R12 swallowed exceptions", `Quick, r12_detects);
+    ("callgraph cycles", `Quick, callgraph_cycles);
+    ("callgraph freshness", `Quick, callgraph_freshness);
+    ("callgraph shadowed names", `Quick, callgraph_shadowed_names);
+    ("callgraph functor bodies", `Quick, callgraph_functor_bodies);
+    ("report formats", `Quick, report_formats);
     QCheck_alcotest.to_alcotest pheap_permutation_prop;
+    QCheck_alcotest.to_alcotest perturbation_prop;
   ]

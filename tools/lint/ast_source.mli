@@ -1,0 +1,27 @@
+(** Parsed view of a scanned source file, for the semantic (AST) pass.
+
+    The lexical rules run on blanked text ({!Source}); the semantic rules
+    [R9]-[R12] need real structure: which functions a file defines, what
+    each writes, and who calls whom.  This module turns a {!Source.t}
+    into a [compiler-libs] parsetree ([Parse.implementation] — no type
+    checking, no new opam dependencies).
+
+    Only [.ml] files are parsed; interfaces carry no effects.  A file
+    that fails to parse (which cannot happen for code the compiler
+    accepts, but can for lexical-rule test fixtures) degrades gracefully:
+    the semantic pass skips it and the lexical rules still apply. *)
+
+type t = {
+  source : Source.t;
+  module_name : string;  (** ["Belief"] for [lib/inference/belief.ml]. *)
+  structure : Parsetree.structure;
+}
+
+val module_name_of_path : string -> string
+(** Capitalized basename without extension, the module the file defines. *)
+
+val parse : Source.t -> t option
+(** [None] for [.mli] files and for unparseable sources. *)
+
+val line_of : Location.t -> int
+(** 1-based start line of a parsetree location. *)

@@ -1,0 +1,237 @@
+type t = {
+  all : Effects.summary list;
+  by_key : (string * string, Effects.summary list) Hashtbl.t;
+  fresh_memo : (string, fresh_state) Hashtbl.t;
+  taint_memo : (string, taint_state) Hashtbl.t;
+}
+
+and fresh_state = F_in_progress | F_done of bool
+and taint_state = T_in_progress | T_done of offense list
+
+and offense = {
+  o_summary : Effects.summary;
+  o_line : int;
+  o_what : string;
+  o_kind : [ `Write of Effects.root | `Io ];
+}
+
+let key_of (s : Effects.summary) =
+  Printf.sprintf "%s:%d:%s" s.Effects.s_file s.Effects.s_line s.Effects.s_name
+
+let build summaries =
+  let by_key = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Effects.summary) ->
+      let key = (s.Effects.s_module, s.Effects.s_name) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_key key) in
+      Hashtbl.replace by_key key (existing @ [ s ]))
+    summaries;
+  { all = summaries; by_key; fresh_memo = Hashtbl.create 64; taint_memo = Hashtbl.create 64 }
+
+let summaries t = t.all
+
+let resolve t ~from_module path =
+  match List.rev (String.split_on_char '.' path) with
+  | [] -> []
+  | [ name ] -> Option.value ~default:[] (Hashtbl.find_opt t.by_key (from_module, name))
+  | name :: m :: _ -> Option.value ~default:[] (Hashtbl.find_opt t.by_key (m, name))
+
+(* --- returns-fresh fixpoint --- *)
+
+let rec summary_fresh t (s : Effects.summary) =
+  let key = key_of s in
+  match Hashtbl.find_opt t.fresh_memo key with
+  | Some (F_done answer) -> answer
+  | Some F_in_progress -> false (* a cycle never bottoms out in an allocation *)
+  | None ->
+    Hashtbl.replace t.fresh_memo key F_in_progress;
+    let answer =
+      match s.Effects.s_constructs with
+      | None -> false
+      | Some deps ->
+        List.for_all (fun dep -> path_fresh t ~from_module:s.Effects.s_module dep) deps
+    in
+    Hashtbl.replace t.fresh_memo key (F_done answer);
+    answer
+
+and path_fresh t ~from_module path =
+  match resolve t ~from_module path with
+  | [] -> false (* unresolved: could be any shared handle *)
+  | targets -> List.for_all (summary_fresh t) targets
+
+let returns_fresh = path_fresh
+
+let local_root t ~from_module (root : Effects.root) =
+  match root with
+  | Effects.Fresh -> true
+  | Effects.Call_result path -> path_fresh t ~from_module path
+  | Effects.Param _ | Effects.Global _ | Effects.Derived _ | Effects.Opaque -> false
+
+(* --- taint: reachable IO and unsynchronized escaping writes --- *)
+
+let describe_write (w : Effects.write) =
+  Printf.sprintf "%s of '%s'" w.Effects.w_what w.Effects.w_target
+
+let direct_offenses t (s : Effects.summary) =
+  let io =
+    List.map (fun (what, line) -> { o_summary = s; o_line = line; o_what = what; o_kind = `Io })
+      s.Effects.s_io
+  in
+  let writes =
+    if s.Effects.s_guarded then []
+    else
+      List.filter_map
+        (fun (w : Effects.write) ->
+          match w.Effects.w_root with
+          (* Param writes are charged at call sites that pass shared
+             state; Derived/Opaque roots are destructured from something
+             this function was handed, so ownership also stays with the
+             caller — only provably process-shared roots are charged
+             where they textually occur. *)
+          | Effects.Param _ | Effects.Derived _ | Effects.Opaque | Effects.Fresh -> None
+          | Effects.Global _ as root ->
+            Some
+              { o_summary = s; o_line = w.Effects.w_line; o_what = describe_write w;
+                o_kind = `Write root }
+          | Effects.Call_result _ as root ->
+            if local_root t ~from_module:s.Effects.s_module root then None
+            else
+              Some
+                { o_summary = s; o_line = w.Effects.w_line; o_what = describe_write w;
+                  o_kind = `Write root })
+        s.Effects.s_writes
+  in
+  io @ writes
+
+(* One-level propagation: callee writes an unguarded parameter, and this
+   call site's argument for it is not provably local. *)
+let edge_offenses t ~(caller : Effects.summary) (c : Effects.call) (callee : Effects.summary) =
+  if callee.Effects.s_guarded then []
+  else begin
+    let positional_params =
+      List.filter_map
+        (fun (l, n) -> if l = Asttypes.Nolabel then Some n else None)
+        callee.Effects.s_params
+    in
+    let positional_args =
+      List.filter_map (fun (l, r) -> if l = Asttypes.Nolabel then Some r else None)
+        c.Effects.c_args
+    in
+    let arg_for param =
+      let labelled =
+        List.find_map
+          (fun ((l : Asttypes.arg_label), r) ->
+            match l with
+            | Asttypes.Labelled name | Asttypes.Optional name when name = param -> Some r
+            | _ -> None)
+          c.Effects.c_args
+      in
+      match labelled with
+      | Some _ as r -> r
+      | None ->
+        let rec index i = function
+          | [] -> None
+          | p :: _ when p = param -> Some i
+          | _ :: rest -> index (i + 1) rest
+        in
+        Option.bind (index 0 positional_params) (fun i -> List.nth_opt positional_args i)
+    in
+    List.filter_map
+      (fun (w : Effects.write) ->
+        match w.Effects.w_root with
+        | Effects.Param p -> (
+          match arg_for p with
+          | None -> None (* partial application: the write happens elsewhere *)
+          | Some (Effects.Param _ | Effects.Derived _ | Effects.Opaque | Effects.Fresh) ->
+            None (* the caller owns (or was handed) that state; deeper chains are out of scope *)
+          | Some (Effects.Global _ as root) ->
+            Some
+              {
+                o_summary = caller;
+                o_line = c.Effects.c_line;
+                o_what =
+                  Printf.sprintf "%s.%s %s on its argument" callee.Effects.s_module
+                    callee.Effects.s_name (describe_write w);
+                o_kind = `Write root;
+              }
+          | Some (Effects.Call_result _ as root) ->
+            if local_root t ~from_module:caller.Effects.s_module root then None
+            else
+              Some
+                {
+                  o_summary = caller;
+                  o_line = c.Effects.c_line;
+                  o_what =
+                    Printf.sprintf "%s.%s %s on its argument" callee.Effects.s_module
+                      callee.Effects.s_name (describe_write w);
+                  o_kind = `Write root;
+                })
+        | _ -> None)
+      callee.Effects.s_writes
+  end
+
+let compare_offense a b =
+  let c = String.compare a.o_summary.Effects.s_file b.o_summary.Effects.s_file in
+  if c <> 0 then c
+  else
+    let c = compare a.o_line b.o_line in
+    if c <> 0 then c else String.compare a.o_what b.o_what
+
+let rec taint t (s : Effects.summary) =
+  let key = key_of s in
+  match Hashtbl.find_opt t.taint_memo key with
+  | Some (T_done answer) -> answer
+  | Some T_in_progress -> [] (* an offense on a cycle is charged where it occurs *)
+  | None ->
+    Hashtbl.replace t.taint_memo key T_in_progress;
+    let via_calls =
+      List.concat_map
+        (fun (c : Effects.call) ->
+          List.concat_map
+            (fun callee -> edge_offenses t ~caller:s c callee @ taint t callee)
+            (resolve t ~from_module:s.Effects.s_module c.Effects.c_path))
+        s.Effects.s_calls
+    in
+    let answer = List.sort_uniq compare_offense (direct_offenses t s @ via_calls) in
+    Hashtbl.replace t.taint_memo key (T_done answer);
+    answer
+
+let job_taint t ~(host : Effects.summary) (job : Effects.job) =
+  let from_module = host.Effects.s_module in
+  let own =
+    List.filter_map
+      (fun (w : Effects.write) ->
+        match w.Effects.w_root with
+        | Effects.Param _ -> None
+        | root ->
+          if local_root t ~from_module root then None
+          else
+            Some
+              { o_summary = host; o_line = w.Effects.w_line; o_what = describe_write w;
+                o_kind = `Write root })
+      job.Effects.j_writes
+  in
+  let via_calls =
+    List.concat_map
+      (fun (c : Effects.call) ->
+        List.concat_map
+          (fun callee -> edge_offenses t ~caller:host c callee @ taint t callee)
+          (resolve t ~from_module c.Effects.c_path))
+      job.Effects.j_calls
+  in
+  List.sort_uniq compare_offense (own @ via_calls)
+
+let rec reachable_aux t visited (s : Effects.summary) =
+  let key = key_of s in
+  if Hashtbl.mem visited key then []
+  else begin
+    Hashtbl.replace visited key ();
+    s
+    :: List.concat_map
+         (fun (c : Effects.call) ->
+           List.concat_map (reachable_aux t visited)
+             (resolve t ~from_module:s.Effects.s_module c.Effects.c_path))
+         s.Effects.s_calls
+  end
+
+let reachable t s = reachable_aux t (Hashtbl.create 64) s

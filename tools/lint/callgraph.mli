@@ -1,0 +1,65 @@
+(** Cross-module call graph over {!Effects.summary} lists.
+
+    Linking is by name suffix: a call path's last two dotted components
+    [(Module, name)] match any summary whose file defines [Module] with a
+    top-level [name] — so ["Utc_obs.Metrics.set_gauge"],
+    ["Metrics.set_gauge"] and (within [metrics.ml]) plain ["set_gauge"]
+    all resolve to the same summary.  Unqualified names resolve only
+    inside the calling module, so a local helper shadowing a stdlib name
+    never links across files.  Unresolved calls (stdlib, C externals) are
+    assumed effect-free; every table of known-effectful stdlib calls
+    lives in {!Effects} and is charged at the call site instead.
+
+    Two transitive facts are computed here, both memoized and cycle-safe
+    (a cycle resolves to the conservative answer):
+
+    - {!returns_fresh}: whether a function provably returns freshly
+      allocated state, closing {!Effects.summary.s_constructs} over the
+      graph (cycles are {e not} fresh);
+    - {!taint}: whether IO or an unsynchronized escaping write is
+      reachable, closing writes over calls with one level of
+      parameter-write propagation per edge — a callee that writes an
+      unguarded parameter taints exactly the call sites whose argument
+      root is not provably local (cycles are clean; a genuine offense on
+      a cycle is charged where it textually occurs). *)
+
+type t
+
+val build : Effects.summary list -> t
+
+val summaries : t -> Effects.summary list
+(** Every summary, in insertion order. *)
+
+val resolve : t -> from_module:string -> string -> Effects.summary list
+(** Summaries a call path may refer to (several when module names
+    collide across directories — reachability explores all of them). *)
+
+val returns_fresh : t -> from_module:string -> string -> bool
+(** Whether calling the given path yields provably fresh state. Unknown
+    or unresolved paths are not fresh. *)
+
+val local_root : t -> from_module:string -> Effects.root -> bool
+(** Whether a value with this root is provably unshared: [Fresh], or a
+    [Call_result] of a fresh-returning function. *)
+
+type offense = {
+  o_summary : Effects.summary;  (** Where the offending code lives. *)
+  o_line : int;
+  o_what : string;  (** Human description: the write or IO primitive. *)
+  o_kind : [ `Write of Effects.root | `Io ];
+      (** For writes, the effective root at the charging site (the
+          argument's root, for propagated parameter writes). *)
+}
+
+val taint : t -> Effects.summary -> offense list
+(** All offenses reachable from this summary's body: its own IO, its own
+    unguarded writes to non-local roots, unguarded parameter writes of
+    direct callees whose argument at the call site is non-local, and
+    everything transitively reachable. Deterministic order. *)
+
+val job_taint : t -> host:Effects.summary -> Effects.job -> offense list
+(** Same, but seeded from a pool-job closure's own writes and calls;
+    [host] is the summary whose body contains the job site. *)
+
+val reachable : t -> Effects.summary -> Effects.summary list
+(** Transitive callee closure (cycle-safe), including the root. *)

@@ -20,17 +20,25 @@ let discover ~roots =
   List.sort String.compare (List.map Source.normalize_path !acc)
 
 let run_sources ~allowlist sources =
-  let per_file =
+  (* Pass 1: the lexical rules, on blanked text. *)
+  let lexical =
     List.concat_map
-      (fun src ->
-        let suppressions = Suppress.of_source src in
-        List.concat_map (fun (rule : Rules.t) -> rule.Rules.check src) Rules.all
-        |> List.filter (fun (d : Diagnostic.t) ->
-               not (Suppress.active suppressions ~rule:d.Diagnostic.rule ~line:d.Diagnostic.line)))
+      (fun src -> List.concat_map (fun (rule : Rules.t) -> rule.Rules.check src) Rules.all)
       sources
   in
+  (* Pass 2: the semantic rules, on the parsed file set — built over all
+     sources at once so the call graph links across modules. *)
+  let semantic = Rules_sem.check (List.filter_map Ast_source.parse sources) in
   let coverage = Rules.mli_coverage ~paths:(List.map (fun s -> s.Source.path) sources) in
-  per_file @ coverage
+  (* Inline suppressions and the allowlist apply uniformly to both passes. *)
+  let suppressions =
+    List.map (fun src -> (src.Source.path, Suppress.of_source src)) sources
+  in
+  lexical @ semantic @ coverage
+  |> List.filter (fun (d : Diagnostic.t) ->
+         match List.assoc_opt d.Diagnostic.path suppressions with
+         | Some supp -> not (Suppress.active supp ~rule:d.Diagnostic.rule ~line:d.Diagnostic.line)
+         | None -> true)
   |> List.filter (fun (d : Diagnostic.t) ->
          not (Allowlist.allows allowlist ~rule:d.Diagnostic.rule ~path:d.Diagnostic.path))
   |> List.sort_uniq Diagnostic.compare

@@ -1,11 +1,15 @@
 (** Orchestration: file discovery, rule application, finding filters.
 
     The engine walks the requested roots, scans every [.ml]/[.mli]
-    (skipping [_build] and dot-directories), applies each rule from
-    {!Rules.all} plus the file-set [R5] check, and then drops findings that
-    are covered by an {!Allowlist} entry or an inline {!Suppress} comment.
-    Results are sorted with {!Diagnostic.compare}, so the report itself is
-    independent of directory enumeration order. *)
+    (skipping [_build] and dot-directories), and runs two passes: the
+    lexical rules from {!Rules.all} (plus the file-set [R5] check) on the
+    blanked text, and the semantic rules from {!Rules_sem} ([R9]-[R12])
+    on the parsed file set — parsing the whole set at once so the call
+    graph links across modules. Findings from both passes are filtered
+    identically: an {!Allowlist} entry or an inline {!Suppress} comment
+    silences a semantic finding exactly like a lexical one. Results are
+    sorted with {!Diagnostic.compare}, so the report is independent of
+    directory enumeration order. *)
 
 val discover : roots:string list -> string list
 (** All [.ml]/[.mli] files under the given files-or-directories, as sorted

@@ -1,0 +1,89 @@
+type format = Text | Json | Sarif
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_text diagnostics =
+  String.concat "" (List.map (fun d -> Diagnostic.to_string d ^ "\n") diagnostics)
+
+let render_json diagnostics =
+  let item (d : Diagnostic.t) =
+    Printf.sprintf "  {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+      (json_escape d.Diagnostic.path) d.Diagnostic.line (json_escape d.Diagnostic.rule)
+      (json_escape d.Diagnostic.message)
+  in
+  "[\n" ^ String.concat ",\n" (List.map item diagnostics) ^ (if diagnostics = [] then "]" else "\n]") ^ "\n"
+
+(* All rule metadata, lexical and semantic, for the SARIF tool driver. *)
+let rule_metadata () =
+  List.map (fun (r : Rules.t) -> (r.Rules.id, r.Rules.name, r.Rules.doc)) Rules.all
+  @ List.map (fun (r : Rules_sem.t) -> (r.Rules_sem.id, r.Rules_sem.name, r.Rules_sem.doc))
+      Rules_sem.all
+
+let render_sarif diagnostics =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n";
+  add "    {\n";
+  add "      \"tool\": {\n";
+  add "        \"driver\": {\n";
+  add "          \"name\": \"utc_lint\",\n";
+  add "          \"informationUri\": \"tools/lint\",\n";
+  add "          \"rules\": [\n";
+  let rules = rule_metadata () in
+  List.iteri
+    (fun i (id, name, doc) ->
+      add
+        (Printf.sprintf
+           "            {\"id\": \"%s\", \"name\": \"%s\", \"shortDescription\": {\"text\": \
+            \"%s\"}}%s\n"
+           (json_escape id) (json_escape name) (json_escape doc)
+           (if i = List.length rules - 1 then "" else ",")))
+    rules;
+  add "          ]\n";
+  add "        }\n";
+  add "      },\n";
+  add "      \"results\": [\n";
+  List.iteri
+    (fun i (d : Diagnostic.t) ->
+      add
+        (Printf.sprintf
+           "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": {\"text\": \"%s\"}, \
+            \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \
+            \"region\": {\"startLine\": %d}}}]}%s\n"
+           (json_escape d.Diagnostic.rule) (json_escape d.Diagnostic.message)
+           (json_escape d.Diagnostic.path) d.Diagnostic.line
+           (if i = List.length diagnostics - 1 then "" else ",")))
+    diagnostics;
+  add "      ]\n";
+  add "    }\n";
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents buf
+
+let render format diagnostics =
+  match format with
+  | Text -> render_text diagnostics
+  | Json -> render_json diagnostics
+  | Sarif -> render_sarif diagnostics
