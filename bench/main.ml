@@ -113,6 +113,13 @@ let report_obs () =
   E.Obs_bench.write_json ~path:"BENCH_obs.json" report;
   Format.printf "wrote BENCH_obs.json@."
 
+let report_meanfield () =
+  section "Mean-field fluid backend - wall time vs background population";
+  let rows = E.Meanfield.bench () in
+  E.Meanfield.pp_bench Format.std_formatter rows;
+  E.Meanfield.write_bench_json ~path:"BENCH_meanfield.json" rows;
+  Format.printf "wrote BENCH_meanfield.json@."
+
 let report_families () =
   section "Extension - richer model families (S3.1 compositionality)";
   E.Families.pp_result Format.std_formatter (E.Families.two_hop ());
@@ -137,6 +144,7 @@ let reports =
     ("scale", report_scale);
     ("parallel", report_parallel);
     ("obs", report_obs);
+    ("meanfield", report_meanfield);
   ]
 
 (* --- Bechamel kernels --- *)

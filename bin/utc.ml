@@ -162,24 +162,53 @@ let senders_opt =
   in
   Arg.(value & opt int 0 & info [ "senders" ] ~docv:"N" ~doc)
 
+let background_opt =
+  let doc =
+    "Add N background flows to the workload. On the $(b,fluid) backend they are integrated as a \
+     mean-field population (any N up to ~4M); on the $(b,packet) backend they are real Reno \
+     senders and count against the 256-sender cap."
+  in
+  Arg.(value & opt int 0 & info [ "background" ] ~docv:"N" ~doc)
+
+let backend_opt =
+  let doc = "Background backend: $(b,packet) (direct runtime) or $(b,fluid) (mean-field)." in
+  Arg.(
+    value & opt (enum [ ("packet", `Packet); ("fluid", `Fluid) ]) `Packet
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let versus_cmd =
-  let run () seed duration senders =
-    if senders > 0 then begin
+  let run () seed duration senders background backend =
+    match backend with
+    | `Fluid ->
+      let foreground = if senders > 0 then senders else 2 in
+      Format.printf "Extension: %d fluid background flows + %d packet-accurate Reno senders@.@."
+        background foreground;
+      let config = { E.Meanfield.default_config with seed; duration; background; foreground } in
+      Format.printf "@[<v>%a@]@." E.Meanfield.pp_summary (E.Meanfield.run ~config ())
+    | `Packet when background > 0 ->
+      let senders = (if senders > 0 then senders else 2) + background in
       Format.printf "Extension: %d Reno senders contending for one bottleneck@.@." senders;
       E.Versus.pp_many Format.std_formatter (E.Versus.many_senders ~seed ~duration ~senders ())
-    end
-    else begin
-      Format.printf "Extension (S3.5 open question): ISender sharing a bottleneck with TCP@.@.";
-      E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_tcp ~seed ~duration ())
-    end
+    | `Packet ->
+      if senders > 0 then begin
+        Format.printf "Extension: %d Reno senders contending for one bottleneck@.@." senders;
+        E.Versus.pp_many Format.std_formatter (E.Versus.many_senders ~seed ~duration ~senders ())
+      end
+      else begin
+        Format.printf "Extension (S3.5 open question): ISender sharing a bottleneck with TCP@.@.";
+        E.Versus.pp_share Format.std_formatter (E.Versus.isender_vs_tcp ~seed ~duration ())
+      end
   in
   let info =
     Cmd.info "versus"
       ~doc:
         "Extension: ISender vs TCP on one bottleneck; with $(b,--senders) N, a scaled \
-         many-sender Reno contention workload with per-flow metric families."
+         many-sender Reno contention workload with per-flow metric families. \
+         $(b,--background) N $(b,--backend) fluid swaps the background population onto the \
+         mean-field backend, lifting the 256-sender cap."
   in
-  Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0 $ senders_opt)
+  Cmd.v info
+    Term.(const run $ logs_term $ seed $ duration 300.0 $ senders_opt $ background_opt $ backend_opt)
 
 (* --- versus2 --- *)
 
@@ -190,6 +219,80 @@ let versus2_cmd =
   in
   let info = Cmd.info "versus2" ~doc:"Extension: ISender vs ISender on one bottleneck." in
   Cmd.v info Term.(const run $ logs_term $ seed $ duration 300.0)
+
+(* --- meanfield --- *)
+
+let meanfield_cmd =
+  let classes_opt =
+    let doc = "Population classes the background is chunked into." in
+    Arg.(value & opt int 8 & info [ "classes" ] ~docv:"N" ~doc)
+  in
+  let bg_opt =
+    let doc = "Fluid background flows." in
+    Arg.(value & opt int 5_000 & info [ "background" ] ~docv:"N" ~doc)
+  in
+  let fg_opt =
+    let doc = "Packet-accurate foreground Reno senders." in
+    Arg.(value & opt int 2 & info [ "foreground" ] ~docv:"N" ~doc)
+  in
+  let topo_opt =
+    let doc = "Topology: $(b,single) bottleneck or $(b,parking_lot) (two bottlenecks)." in
+    Arg.(
+      value
+      & opt (enum [ ("single", E.Meanfield.Single); ("parking_lot", E.Meanfield.Parking_lot) ])
+          E.Meanfield.Single
+      & info [ "topo" ] ~docv:"TOPO" ~doc)
+  in
+  let dt_opt =
+    let doc = "Integrator step, seconds." in
+    Arg.(value & opt float 0.01 & info [ "dt" ] ~docv:"SECONDS" ~doc)
+  in
+  let validate_opt =
+    let doc =
+      "Cross-validate instead: run the fluid backend and the packet-level truth (background \
+       capped at 256) on the same topology and print the agreement."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let run () seed duration background classes foreground topo dt domains validate =
+    ignore (resolve_pool domains : Utc_parallel.Pool.t);
+    if validate then begin
+      let a = E.Meanfield.validate ~seed ~duration ~topo ~n:background () in
+      Format.printf "%a@." E.Meanfield.pp_agreement a
+    end
+    else begin
+      Utc_obs.Metrics.enable ();
+      Utc_obs.Metrics.reset ();
+      let config =
+        { E.Meanfield.default_config with seed; duration; background; classes; foreground; topo; dt }
+      in
+      let summary = E.Meanfield.run ~config () in
+      Utc_obs.Metrics.disable ();
+      Format.printf "@[<v>%a@]@." E.Meanfield.pp_summary summary;
+      (* The population's aggregate families, rendered deterministically:
+         the golden snapshot diffs this block. *)
+      let snap = Utc_obs.Metrics.snapshot ~at:duration in
+      let keep name = String.starts_with ~prefix:"meanfield." name in
+      List.iter
+        (fun (name, v) -> if keep name then Format.printf "counter %s %d@." name v)
+        snap.Utc_obs.Metrics.counters;
+      List.iter
+        (fun (name, v) -> if keep name then Format.printf "gauge %s %.6g@." name v)
+        snap.Utc_obs.Metrics.gauges;
+      Utc_obs.Metrics.reset ()
+    end
+  in
+  let info =
+    Cmd.info "meanfield"
+      ~doc:
+        "Mean-field fluid backend: integrate a large background AIMD population against \
+         packet-accurate foreground senders; with $(b,--validate), cross-check aggregate \
+         goodput and queue occupancy against the packet-level runtime."
+  in
+  Cmd.v info
+    Term.(
+      const run $ logs_term $ seed $ duration 120.0 $ bg_opt $ classes_opt $ fg_opt $ topo_opt
+      $ dt_opt $ domains_opt $ validate_opt)
 
 (* --- skew --- *)
 
@@ -330,6 +433,7 @@ let traceable =
     ("faults", `Faults);
     ("sweep", `Sweep);
     ("versus", `Versus);
+    ("meanfield", `Meanfield);
   ]
 
 let experiment_arg =
@@ -364,6 +468,11 @@ let run_traced experiment ~seed ~duration ~senders =
   | `Versus ->
     let senders = if senders > 0 then senders else 8 in
     ignore (E.Versus.many_senders ~seed ~duration ~senders () : E.Versus.many)
+  | `Meanfield ->
+    let foreground = if senders > 0 then senders else 2 in
+    ignore
+      (E.Meanfield.run ~config:{ E.Meanfield.default_config with seed; duration; foreground } ()
+        : E.Meanfield.summary)
 
 let trace_cmd =
   let trace_out =
@@ -495,7 +604,8 @@ let main_cmd =
   in
   Cmd.group info
     [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
-      versus_cmd; versus2_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd; sweep_cmd;
+      versus_cmd; versus2_cmd; meanfield_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd;
+      sweep_cmd;
       scale_cmd; parallel_cmd; trace_cmd; metrics_cmd; obsbench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,3 +1,4 @@
+let fluid_tick = -30
 let gate_toggle = -20
 let service_complete = -10
 

@@ -7,6 +7,11 @@
     links finish the packet in service, then packets arrive (primary flow
     before cross traffic, then auxiliary flows). *)
 
+val fluid_tick : int
+(** Mean-field integrator steps run before every other same-instant event,
+    so packet-level elements always observe the post-step aggregate state
+    of the tick instant. *)
+
 val gate_toggle : int
 val service_complete : int
 

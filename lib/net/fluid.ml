@@ -1,0 +1,570 @@
+module Engine = Utc_sim.Engine
+module Rng = Utc_sim.Rng
+
+type drop_reason =
+  | Tail_drop
+  | Stochastic_loss
+  | Gate_closed
+
+let pp_drop_reason ppf reason =
+  let text =
+    match reason with
+    | Tail_drop -> "tail_drop"
+    | Stochastic_loss -> "stochastic_loss"
+    | Gate_closed -> "gate_closed"
+  in
+  Format.pp_print_string ppf text
+
+type callbacks = {
+  deliver : Flow.t -> Packet.t -> unit;
+  on_drop : node_id:int -> reason:drop_reason -> Packet.t -> unit;
+}
+
+let callbacks ?deliver ?on_drop () =
+  {
+    deliver = Option.value deliver ~default:(fun _ _ -> ());
+    on_drop = Option.value on_drop ~default:(fun ~node_id:_ ~reason:_ _ -> ());
+  }
+
+(* --- fixed-point class state ---
+
+   Class windows and per-flow rate contributions are Q43.20 integers.
+   Aggregation over classes is an exact integer sum of [flows * rate]
+   terms, which is what makes the integrator bitwise invariant to
+   population chunking and class order; the nonlinear parts of each step
+   run in float on (identical) fixed-point inputs and round back, so
+   equal classes stay bitwise equal forever. *)
+
+let fix_bits = 20
+let fix_scale = 1 lsl fix_bits
+let fix_of_float x = int_of_float (Float.round (x *. float_of_int fix_scale))
+let float_of_fix x = float_of_int x /. float_of_int fix_scale
+
+(* Per-flow rate clamp keeping [flows * rate] well under 2^62:
+   2^20 flows * 2^48 < 2^62 even summed over 4096 classes. 2^28 in Q.20
+   is 256 packets per second per background flow. *)
+let max_rate_fix = 1 lsl 28
+
+type pop_class = { flows : int; init_window_pkts : float }
+
+type population = {
+  pop_flow : Flow.t;
+  pkt_bits : int;
+  pop_classes : pop_class list;
+}
+
+let max_class_flows = 1 lsl 20
+let max_classes = 4096
+let max_total_flows = 1 lsl 22
+
+let population ?(pkt_bits = Packet.default_bits) ?(classes = 1) ?(init_window_pkts = 1.0) ~flow
+    ~flows () =
+  if classes < 1 then invalid_arg "Fluid.population: classes must be positive";
+  if flows < 0 then invalid_arg "Fluid.population: flows must be non-negative";
+  (* Balanced partition: the first [flows mod classes] classes get one
+     extra flow. Classes are identical in state, so any partition of the
+     same total yields the same aggregates (exactly — see fixed-point
+     note above). *)
+  let classes = if flows = 0 then 1 else min classes flows in
+  let base = flows / classes and extra = flows mod classes in
+  let pop_classes =
+    List.init classes (fun i ->
+        { flows = (base + if i < extra then 1 else 0); init_window_pkts })
+  in
+  { pop_flow = flow; pkt_bits; pop_classes }
+
+type config = {
+  dt : float;
+  max_window_pkts : float;
+  rtt_floor : float;
+  fg_smoothing : float;
+}
+
+let default_config =
+  { dt = 0.01; max_window_pkts = 4096.0; rtt_floor = 1e-3; fg_smoothing = 0.25 }
+
+(* --- per-node state ---
+
+   The packet half mirrors Utc_elements.Runtime exactly; the fluid half
+   is only ever non-zero on background-path stations, and every foreground
+   expression reading it reduces to the runtime's expression when it is
+   zero. *)
+
+type station_state = {
+  queue : Packet.t Queue.t;
+  mutable queued_bits : int;
+  mutable busy : bool;
+  (* fluid side *)
+  mutable on_path : bool;
+  mutable fq_bits : float;  (** background fluid backlog, bits *)
+  mutable bg_depart_bps : float;  (** background departure rate, last tick *)
+  mutable bg_loss : float;  (** background overflow loss prob, last tick *)
+  mutable fg_bits_acc : int;  (** foreground bits arrived since last tick *)
+  mutable fg_rate_bps : float;  (** EWMA foreground arrival rate *)
+}
+
+type nstate =
+  | SStation of station_state
+  | SGate of { mutable connected : bool }
+  | SEither of { mutable on_first : bool }
+  | SMultipath of { mutable next_first : bool }
+  | SStateless
+
+type hop = { hop_id : int; hop_rate_bps : float; hop_cap_bits : int option }
+
+type class_state = { n_flows : int; mutable w_fix : int }
+
+type t = {
+  engine : Engine.t;
+  compiled : Compiled.t;
+  states : nstate array;
+  rngs : Rng.t array;
+  cb : callbacks;
+  config : config;
+  (* background *)
+  pkt_bits : int;
+  total_flows : int;
+  classes : class_state array;
+  hops : hop list;  (** stations on the background path, path order *)
+  base_delay : float;  (** propagation + mean jitter on the path *)
+  survive : float;  (** product of (1 - loss) over path Loss elements *)
+  mutable steps : int;
+  mutable delivered_bits : float;
+  mutable last_rtt : float;
+  mutable last_loss_prob : float;
+  mutable last_offered_pps : float;
+  mutable last_goodput_bps : float;
+}
+
+(* --- background path extraction --- *)
+
+let trace_path compiled ~flow ~entry =
+  let count = Compiled.node_count compiled in
+  let rec walk link hops delay survive steps =
+    if steps > count then
+      invalid_arg "Fluid.build: background path does not terminate"
+    else
+      match (link : Compiled.link) with
+      | Deliver -> (List.rev hops, delay, survive)
+      | To id -> (
+        match Compiled.node compiled id with
+        | Station { capacity_bits; rate_bps; next } ->
+          walk next
+            ({ hop_id = id; hop_rate_bps = rate_bps; hop_cap_bits = capacity_bits } :: hops)
+            delay survive (steps + 1)
+        | Delay { seconds; next } -> walk next hops (delay +. seconds) survive (steps + 1)
+        | Loss { rate; next } -> walk next hops delay (survive *. (1.0 -. rate)) (steps + 1)
+        | Jitter { seconds; probability; next } ->
+          (* The population sees the jitter element's mean extra delay. *)
+          walk next hops (delay +. (seconds *. probability)) survive (steps + 1)
+        | Divert { routes; otherwise } ->
+          let target =
+            match List.find_opt (fun (f, _) -> Flow.equal f flow) routes with
+            | Some (_, target) -> target
+            | None -> otherwise
+          in
+          walk target hops delay survive (steps + 1)
+        | Gate _ | Either _ | Multipath _ ->
+          invalid_arg
+            "Fluid.build: background path crosses a Gate/Either/Multipath element; the v1 \
+             mean-field backend only supports Station/Delay/Loss/Jitter/Divert on the \
+             population path")
+  in
+  walk entry [] 0.0 1.0 0
+
+(* --- foreground packet interpreter (mirrors Runtime bit for bit when
+   the fluid terms are zero) --- *)
+
+let drop t ~node_id ~reason pkt = t.cb.on_drop ~node_id ~reason pkt
+
+let station t id =
+  match t.states.(id) with
+  | SStation s -> s
+  | SGate _ | SEither _ | SMultipath _ | SStateless -> assert false
+
+(* Fluid bits currently charged against a station's tail-drop headroom. *)
+let fluid_headroom_bits s = if s.on_path then int_of_float (Float.ceil s.fq_bits) else 0
+
+let rec arrive t link pkt =
+  match (link : Compiled.link) with
+  | Deliver -> t.cb.deliver pkt.Packet.flow pkt
+  | To id -> (
+    match Compiled.node t.compiled id with
+    | Station { capacity_bits; rate_bps; next } ->
+      station_arrive t id capacity_bits rate_bps next pkt
+    | Delay { seconds; next } ->
+      let prio = Evprio.arrival pkt.Packet.flow in
+      ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
+    | Loss { rate; next } ->
+      if Rng.bernoulli t.rngs.(id) ~p:rate then drop t ~node_id:id ~reason:Stochastic_loss pkt
+      else arrive t next pkt
+    | Jitter { seconds; probability; next } ->
+      if Rng.bernoulli t.rngs.(id) ~p:probability then begin
+        let prio = Evprio.arrival pkt.Packet.flow in
+        ignore (Engine.schedule_after ~prio t.engine ~delay:seconds (fun () -> arrive t next pkt))
+      end
+      else arrive t next pkt
+    | Gate { kind = _; next } -> (
+      match t.states.(id) with
+      | SGate g ->
+        if g.connected then arrive t next pkt else drop t ~node_id:id ~reason:Gate_closed pkt
+      | SStation _ | SEither _ | SMultipath _ | SStateless -> assert false)
+    | Either { first; second; _ } -> (
+      match t.states.(id) with
+      | SEither e -> arrive t (if e.on_first then first else second) pkt
+      | SStation _ | SGate _ | SMultipath _ | SStateless -> assert false)
+    | Divert { routes; otherwise } ->
+      let rec route = function
+        | [] -> arrive t otherwise pkt
+        | (flow, target) :: rest ->
+          if Flow.equal flow pkt.Packet.flow then arrive t target pkt else route rest
+      in
+      route routes
+    | Multipath { policy; first; second } -> (
+      match t.states.(id), policy with
+      | SMultipath m, `Round_robin ->
+        let target = if m.next_first then first else second in
+        m.next_first <- not m.next_first;
+        arrive t target pkt
+      | SMultipath _, `Random p ->
+        arrive t (if Rng.bernoulli t.rngs.(id) ~p then first else second) pkt
+      | (SStation _ | SGate _ | SEither _ | SStateless), _ -> assert false))
+
+and station_arrive t id capacity_bits rate_bps next pkt =
+  let s = station t id in
+  s.fg_bits_acc <- s.fg_bits_acc + pkt.Packet.bits;
+  if (not s.busy) && Queue.is_empty s.queue then start_service t id s rate_bps next pkt
+  else begin
+    let fits =
+      match capacity_bits with
+      | None -> true
+      | Some cap -> s.queued_bits + pkt.Packet.bits + fluid_headroom_bits s <= cap
+    in
+    if fits then begin
+      Queue.push pkt s.queue;
+      s.queued_bits <- s.queued_bits + pkt.Packet.bits
+    end
+    else drop t ~node_id:id ~reason:Tail_drop pkt
+  end
+
+and start_service t id s rate_bps next pkt =
+  s.busy <- true;
+  (* Residual capacity: the background departure process occupies its
+     share of the wire; the fluid backlog ahead of a packet entering an
+     idle station is waited out at the full line rate. Both terms are
+     exactly zero when the population is empty, collapsing the expression
+     to the direct runtime's [bits / rate]. *)
+  let fg_rate =
+    if s.on_path && s.bg_depart_bps > 0.0 then
+      Float.max (rate_bps -. s.bg_depart_bps) (0.01 *. rate_bps)
+    else rate_bps
+  in
+  let fluid_wait = if s.on_path && s.fq_bits > 0.0 then s.fq_bits /. rate_bps else 0.0 in
+  let service_time = fluid_wait +. (float_of_int pkt.Packet.bits /. fg_rate) in
+  let complete () =
+    s.busy <- false;
+    let () =
+      match Queue.take_opt s.queue with
+      | None -> ()
+      | Some head ->
+        s.queued_bits <- s.queued_bits - head.Packet.bits;
+        start_service t id s rate_bps next head
+    in
+    arrive t next pkt
+  in
+  ignore (Engine.schedule_after ~prio:Evprio.service_complete t.engine ~delay:service_time complete)
+
+let start_gate t id kind =
+  match t.states.(id) with
+  | SGate g -> (
+    match (kind : Compiled.gate_kind) with
+    | Memoryless { mean_time_to_switch; _ } ->
+      let rec toggle () =
+        g.connected <- not g.connected;
+        schedule_next ()
+      and schedule_next () =
+        let delay = Rng.exponential t.rngs.(id) ~mean:mean_time_to_switch in
+        ignore (Engine.schedule_after ~prio:Evprio.gate_toggle t.engine ~delay toggle)
+      in
+      schedule_next ()
+    | Periodic { interval; _ } ->
+      let rec toggle k () =
+        g.connected <- not g.connected;
+        schedule_next (k + 1)
+      and schedule_next k =
+        ignore
+          (Engine.schedule ~prio:Evprio.gate_toggle t.engine ~at:(float_of_int k *. interval)
+             (toggle k))
+      in
+      schedule_next 1)
+  | SStation _ | SEither _ | SMultipath _ | SStateless -> assert false
+
+let start_either t id mean_time_to_switch =
+  match t.states.(id) with
+  | SEither e ->
+    let rec toggle () =
+      e.on_first <- not e.on_first;
+      schedule_next ()
+    and schedule_next () =
+      let delay = Rng.exponential t.rngs.(id) ~mean:mean_time_to_switch in
+      ignore (Engine.schedule_after ~prio:Evprio.gate_toggle t.engine ~delay toggle)
+    in
+    schedule_next ()
+  | SStation _ | SGate _ | SMultipath _ | SStateless -> assert false
+
+let start_pinger t (p : Compiled.pinger) =
+  let prio = Evprio.arrival p.flow in
+  let rec emit k () =
+    let pkt = Packet.make ~bits:p.size_bits ~flow:p.flow ~seq:k ~sent_at:(Engine.now t.engine) () in
+    arrive t p.entry pkt;
+    schedule_next (k + 1)
+  and schedule_next k =
+    ignore (Engine.schedule ~prio t.engine ~at:(float_of_int k /. p.rate_pps) (emit k))
+  in
+  schedule_next 0
+
+(* --- the integrator --- *)
+
+(* One fixed step: EWMA the foreground rates, read the population RTT off
+   the queues, form the exact aggregate offered rate, thin it hop by hop
+   against residual capacities and tail-drop headroom, then advance each
+   class's AIMD window (Misra-Gong-Towsley fluid Reno:
+   dw/dt = 1/R - (w/2) x p). *)
+let tick t =
+  let cfg = t.config in
+  let dt = cfg.dt in
+  (* foreground arrival rates *)
+  List.iter
+    (fun hop ->
+      let s = station t hop.hop_id in
+      let sample = float_of_int s.fg_bits_acc /. dt in
+      s.fg_bits_acc <- 0;
+      s.fg_rate_bps <-
+        (if t.steps = 0 then sample
+         else ((1.0 -. cfg.fg_smoothing) *. s.fg_rate_bps) +. (cfg.fg_smoothing *. sample)))
+    t.hops;
+  (* population RTT: propagation + queueing (fluid and foreground bits)
+     + per-hop transmission time *)
+  let rtt =
+    List.fold_left
+      (fun acc hop ->
+        let s = station t hop.hop_id in
+        acc
+        +. ((s.fq_bits +. float_of_int s.queued_bits +. float_of_int t.pkt_bits)
+            /. hop.hop_rate_bps))
+      (cfg.rtt_floor +. t.base_delay)
+      t.hops
+  in
+  (* aggregate offered rate: exact integer sum of flows * per-flow rate *)
+  let offered_fix =
+    Array.fold_left
+      (fun acc c ->
+        let x_fix =
+          if c.n_flows = 0 then 0
+          else
+            let x = float_of_fix c.w_fix /. rtt in
+            let x_fix = fix_of_float x in
+            if x_fix < 0 then 0 else min x_fix max_rate_fix
+        in
+        acc + (c.n_flows * x_fix))
+      0 t.classes
+  in
+  let offered_pps = float_of_fix offered_fix in
+  let offered_bps = offered_pps *. float_of_int t.pkt_bits in
+  (* thin hop by hop *)
+  let rate_in = ref offered_bps in
+  List.iter
+    (fun hop ->
+      let s = station t hop.hop_id in
+      let resid = Float.max (hop.hop_rate_bps -. s.fg_rate_bps) (0.05 *. hop.hop_rate_bps) in
+      let arr = !rate_in in
+      let depart = Float.min resid (arr +. (s.fq_bits /. dt)) in
+      let fq' = Float.max 0.0 (s.fq_bits +. ((arr -. depart) *. dt)) in
+      let headroom =
+        match hop.hop_cap_bits with
+        | None -> Float.infinity
+        | Some cap -> Float.max 0.0 (float_of_int cap -. float_of_int s.queued_bits)
+      in
+      let fq'', lost = if fq' > headroom then (headroom, fq' -. headroom) else (fq', 0.0) in
+      s.fq_bits <- fq'';
+      s.bg_depart_bps <- depart;
+      s.bg_loss <- (if arr *. dt > 0.0 then Float.min 1.0 (lost /. (arr *. dt)) else 0.0);
+      rate_in := depart)
+    t.hops;
+  let goodput_bps = !rate_in *. t.survive in
+  let loss_prob =
+    if offered_bps > 1e-9 then Float.max 0.0 (Float.min 1.0 (1.0 -. (goodput_bps /. offered_bps)))
+    else 0.0
+  in
+  (* per-class AIMD step (float on identical inputs, rounded back) *)
+  Array.iter
+    (fun c ->
+      if c.n_flows > 0 then begin
+        let w = float_of_fix c.w_fix in
+        let x = Float.min (w /. rtt) (float_of_fix max_rate_fix) in
+        let dw = dt *. ((1.0 /. rtt) -. (0.5 *. w *. x *. loss_prob)) in
+        let w' = Float.max 1.0 (Float.min cfg.max_window_pkts (w +. dw)) in
+        c.w_fix <- fix_of_float w'
+      end)
+    t.classes;
+  t.delivered_bits <- t.delivered_bits +. (goodput_bps *. dt);
+  t.steps <- t.steps + 1;
+  t.last_rtt <- rtt;
+  t.last_loss_prob <- loss_prob;
+  t.last_offered_pps <- offered_pps;
+  t.last_goodput_bps <- goodput_bps
+
+let start_ticks t =
+  let dt = t.config.dt in
+  let rec step k () =
+    tick t;
+    schedule_next (k + 1)
+  and schedule_next k =
+    (* Absolute times k*dt, like periodic gates, so float drift cannot
+       accumulate across millions of steps. *)
+    ignore (Engine.schedule ~prio:Evprio.fluid_tick t.engine ~at:(float_of_int k *. dt) (step k))
+  in
+  schedule_next 1
+
+(* --- construction --- *)
+
+let build ?(config = default_config) engine compiled cb ~(background : population) =
+  if config.dt <= 0.0 then invalid_arg "Fluid.build: dt must be positive";
+  if config.fg_smoothing <= 0.0 || config.fg_smoothing > 1.0 then
+    invalid_arg "Fluid.build: fg_smoothing must be in (0, 1]";
+  if config.rtt_floor <= 0.0 then invalid_arg "Fluid.build: rtt_floor must be positive";
+  if background.pkt_bits <= 0 then invalid_arg "Fluid.build: pkt_bits must be positive";
+  if List.length background.pop_classes > max_classes then
+    invalid_arg "Fluid.build: too many population classes";
+  let total_flows =
+    List.fold_left
+      (fun acc (c : pop_class) ->
+        if c.flows < 0 || c.flows > max_class_flows then
+          invalid_arg "Fluid.build: class flow count out of range";
+        if c.init_window_pkts < 1.0 || c.init_window_pkts > config.max_window_pkts then
+          invalid_arg "Fluid.build: init window out of range";
+        acc + c.flows)
+      0 background.pop_classes
+  in
+  if total_flows > max_total_flows then invalid_arg "Fluid.build: too many background flows";
+  let entry =
+    match Compiled.entry compiled background.pop_flow with
+    | link -> link
+    | exception Not_found ->
+      invalid_arg "Fluid.build: background population flow has no Endpoint source"
+  in
+  let hops, base_delay, survive = trace_path compiled ~flow:background.pop_flow ~entry in
+  let count = Compiled.node_count compiled in
+  let states =
+    Array.init count (fun id ->
+        match Compiled.node compiled id with
+        | Station _ ->
+          SStation
+            {
+              queue = Queue.create ();
+              queued_bits = 0;
+              busy = false;
+              on_path = false;
+              fq_bits = 0.0;
+              bg_depart_bps = 0.0;
+              bg_loss = 0.0;
+              fg_bits_acc = 0;
+              fg_rate_bps = 0.0;
+            }
+        | Gate { kind = Memoryless { initially_connected; _ }; _ }
+        | Gate { kind = Periodic { initially_connected; _ }; _ } ->
+          SGate { connected = initially_connected }
+        | Either { initially_first; _ } -> SEither { on_first = initially_first }
+        | Multipath _ -> SMultipath { next_first = true }
+        | Delay _ | Loss _ | Jitter _ | Divert _ -> SStateless)
+  in
+  (* Identical RNG split order to Runtime.build, so the foreground packet
+     trajectory is bit-for-bit the direct backend's at zero background. *)
+  let root = Engine.rng engine in
+  let rngs = Array.init count (fun _ -> Rng.split root) in
+  let classes =
+    Array.of_list
+      (List.map
+         (fun (c : pop_class) ->
+           { n_flows = c.flows; w_fix = fix_of_float c.init_window_pkts })
+         background.pop_classes)
+  in
+  let t =
+    {
+      engine;
+      compiled;
+      states;
+      rngs;
+      cb;
+      config;
+      pkt_bits = background.pkt_bits;
+      total_flows;
+      classes;
+      hops;
+      base_delay;
+      survive;
+      steps = 0;
+      delivered_bits = 0.0;
+      last_rtt = config.rtt_floor +. base_delay;
+      last_loss_prob = 0.0;
+      last_offered_pps = 0.0;
+      last_goodput_bps = 0.0;
+    }
+  in
+  List.iter
+    (fun hop ->
+      let s = station t hop.hop_id in
+      s.on_path <- true)
+    t.hops;
+  Array.iteri
+    (fun id n ->
+      match (n : Compiled.node) with
+      | Gate { kind; _ } -> start_gate t id kind
+      | Either { mean_time_to_switch; _ } -> start_either t id mean_time_to_switch
+      | Station _ | Delay _ | Loss _ | Jitter _ | Divert _ | Multipath _ -> ())
+    compiled.Compiled.nodes;
+  List.iter (start_pinger t) compiled.Compiled.pingers;
+  (* An empty population schedules no ticks: the engine's event stream is
+     then exactly the direct runtime's. *)
+  if total_flows > 0 then start_ticks t;
+  t
+
+let inject t flow pkt = arrive t (Compiled.entry t.compiled flow) pkt
+let compiled t = t.compiled
+let background_flows t = t.total_flows
+let steps t = t.steps
+let path_stations t = List.map (fun hop -> hop.hop_id) t.hops
+let fg_queue_bits t ~node_id = (station t node_id).queued_bits
+
+type agg = {
+  at : float;
+  mean_window_pkts : float;
+  offered_pps : float;
+  goodput_bps : float;
+  delivered_bits : float;
+  loss_prob : float;
+  rtt : float;
+  queue_bits : (int * float) list;
+}
+
+let sample t =
+  let mean_window =
+    if t.total_flows = 0 then 0.0
+    else
+      (* Exact integer sum of flows * window, same invariance argument as
+         the offered-rate aggregate. *)
+      let sum_fix = Array.fold_left (fun acc c -> acc + (c.n_flows * c.w_fix)) 0 t.classes in
+      float_of_fix sum_fix /. float_of_int t.total_flows
+  in
+  {
+    at = float_of_int t.steps *. t.config.dt;
+    mean_window_pkts = mean_window;
+    offered_pps = t.last_offered_pps;
+    goodput_bps = t.last_goodput_bps;
+    delivered_bits = t.delivered_bits;
+    loss_prob = t.last_loss_prob;
+    rtt = t.last_rtt;
+    queue_bits = List.map (fun hop -> (hop.hop_id, (station t hop.hop_id).fq_bits)) t.hops;
+  }
+
+let class_states t = Array.to_list (Array.map (fun c -> (c.n_flows, c.w_fix)) t.classes)

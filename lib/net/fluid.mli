@@ -1,0 +1,176 @@
+(** Mean-field fluid interpreter: the third backend over the element AST.
+
+    The direct runtime ([Utc_elements.Runtime]) executes every packet of
+    every flow; the belief-state interpreter ([Utc_model]) forks on
+    nondeterminism. Both cap out at hundreds of senders. This backend
+    follows the mean-field limit of interacting TCP populations (McDonald
+    & Reynier; Graham, Robert & Verloop): a large {e background}
+    population of AIMD flows evolves as per-class aggregate window/rate
+    state driven by a fixed-step deterministic integrator, while a
+    handful of {e foreground} sources stay packet-accurate against the
+    aggregate queue process.
+
+    {2 Hybrid coupling}
+
+    Background and foreground meet at the stations of the background
+    path, through the queue-occupancy / loss-probability interface:
+
+    - foreground packets see the fluid backlog: the tail-drop admission
+      test charges the station's fluid queue against its capacity, a
+      packet entering an idle station waits out the fluid backlog
+      ([q_fluid / rate]), and service runs at the residual rate left by
+      the background departure process;
+    - the background sees the foreground: each station's measured
+      foreground arrival rate (EWMA over integrator steps) is subtracted
+      from the capacity available to the fluid population, and real
+      foreground queue bits consume tail-drop headroom and add queueing
+      delay to the population RTT.
+
+    Every coupling term vanishes when the population is empty, so with
+    zero background flows this interpreter degenerates to the direct
+    runtime {e bit for bit} (same per-node RNG split order, same event
+    priorities, same float expressions on the packet path).
+
+    {2 Determinism}
+
+    Per-class state is fixed-point ({!fix_scale}-scaled integers) and
+    every class-to-aggregate reduction is an exact integer sum of
+    [flows * contribution] terms, so integrator output is byte-identical
+    at any domain count and {e exactly} invariant to how the population
+    is chunked into classes (splitting a class, merging equal classes,
+    or permuting the class list). Nonlinear per-class updates may use
+    float internally but are rounded back to fixed point, so equal
+    classes stay bitwise equal forever.
+
+    {2 Scope (v1)}
+
+    The background path may traverse [Station], [Delay], [Loss],
+    [Jitter] (as its mean extra delay) and [Divert] elements;
+    [Gate]/[Either]/[Multipath] on the {e background} path are rejected
+    at build time. Foreground packets support the full element language,
+    exactly as the direct runtime does. Fault overrides
+    ([set_rate_override]) are not available on this backend. *)
+
+type drop_reason =
+  | Tail_drop
+  | Stochastic_loss
+  | Gate_closed
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+
+type callbacks = {
+  deliver : Flow.t -> Packet.t -> unit;
+  on_drop : node_id:int -> reason:drop_reason -> Packet.t -> unit;
+}
+
+val callbacks :
+  ?deliver:(Flow.t -> Packet.t -> unit) ->
+  ?on_drop:(node_id:int -> reason:drop_reason -> Packet.t -> unit) ->
+  unit ->
+  callbacks
+
+(** {1 The background population} *)
+
+type pop_class = {
+  flows : int;  (** Flows in this class; [0 <= flows <= ]{!max_class_flows}. *)
+  init_window_pkts : float;  (** Initial per-flow congestion window. *)
+}
+
+type population = {
+  pop_flow : Flow.t;
+      (** Endpoint whose compiled entry the population traverses. *)
+  pkt_bits : int;  (** Background segment size. *)
+  pop_classes : pop_class list;
+}
+
+val max_class_flows : int
+(** 1_048_576 flows per class. *)
+
+val max_classes : int
+(** 4_096 classes. *)
+
+val max_total_flows : int
+(** 4_194_304 flows per population. *)
+
+val population :
+  ?pkt_bits:int ->
+  ?classes:int ->
+  ?init_window_pkts:float ->
+  flow:Flow.t ->
+  flows:int ->
+  unit ->
+  population
+(** Homogeneous population of [flows] flows balanced over [classes]
+    (default 1) equal classes, packet size {!Packet.default_bits},
+    initial window 1 packet. *)
+
+(** {1 Integrator configuration} *)
+
+type config = {
+  dt : float;  (** Integrator step, seconds. Default 0.01. *)
+  max_window_pkts : float;  (** Per-flow window clamp. Default 4096. *)
+  rtt_floor : float;
+      (** Lower bound on the population RTT, so rate stays finite on
+          delay-free paths. Default 1 ms. *)
+  fg_smoothing : float;
+      (** EWMA weight of the newest per-station foreground arrival-rate
+          sample, in (0, 1]. Default 0.25. *)
+}
+
+val default_config : config
+
+(** {1 Build and drive} *)
+
+type t
+
+val build :
+  ?config:config -> Utc_sim.Engine.t -> Compiled.t -> callbacks -> background:population -> t
+(** Walks the background path from the population's entry, allocates
+    hybrid station state, seeds the integrator and schedules its ticks
+    (none when the population is empty). Raises [Invalid_argument] if
+    the population flow has no [Endpoint] entry, a population bound is
+    exceeded, [dt <= 0], or the background path crosses an unsupported
+    element. *)
+
+val inject : t -> Flow.t -> Packet.t -> unit
+(** Inject a foreground packet at the entry of [flow], exactly as
+    {!Utc_elements.Runtime.inject} does on the direct backend. *)
+
+val compiled : t -> Compiled.t
+
+(** {1 Aggregate observables} *)
+
+type agg = {
+  at : float;  (** Time of the integrator step this sample reflects. *)
+  mean_window_pkts : float;  (** Population mean per-flow window. *)
+  offered_pps : float;  (** Aggregate background send rate, packets/s. *)
+  goodput_bps : float;
+      (** Aggregate background delivery rate after queue-overflow and
+          stochastic loss, bits/s. *)
+  delivered_bits : float;  (** Cumulative background bits delivered. *)
+  loss_prob : float;  (** End-to-end background loss probability. *)
+  rtt : float;  (** Population round-trip time, seconds. *)
+  queue_bits : (int * float) list;
+      (** Fluid backlog per background-path station, in node-id order. *)
+}
+
+val sample : t -> agg
+
+val background_flows : t -> int
+val steps : t -> int  (** Integrator ticks executed so far. *)
+
+val path_stations : t -> int list
+(** Node ids of the stations on the background path, in path order. *)
+
+val fg_queue_bits : t -> node_id:int -> int
+(** Foreground (packet) bits queued at a station. *)
+
+(** {1 Fixed-point introspection (tests)} *)
+
+val fix_scale : int
+(** Scale of the fixed-point class state: 2{^20}. *)
+
+val class_states : t -> (int * int) list
+(** [(flows, window)] per class in class order, windows in raw
+    {!fix_scale} fixed point — the byte-level state the chunking
+    invariance property quantifies over. *)

@@ -15,5 +15,6 @@ let () =
       ("pomdp", Test_pomdp.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("meanfield", Test_meanfield.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -209,6 +209,209 @@ let topology_pp_smoke () =
   let text = Format.asprintf "%a" Compiled.pp compiled in
   Alcotest.(check bool) "mentions station" true (contains text "Station")
 
+(* --- fluid backend boundary ---
+
+   The hybrid seam's contract: with an empty background population the
+   fluid interpreter degenerates to the direct runtime bit for bit, and
+   the build-time validation rejects what the v1 integrator cannot
+   model. *)
+
+module Engine = Utc_sim.Engine
+
+(* A path exercising every stochastic element the packet interpreter
+   samples (loss, jitter, a gate on the pinger's access path) plus a
+   queueing station — if RNG split order or event priorities diverged
+   between the two interpreters, deliveries would differ in timing or
+   content. *)
+let boundary_topology =
+  {
+    Topology.sources =
+      [
+        Topology.endpoint Flow.Cross;
+        Topology.pinger
+          ~access:(Topology.intermittent ~mean_time_to_switch:3.0 ())
+          ~flow:Flow.Primary ~rate_pps:5.0 ();
+      ];
+    shared =
+      Topology.series
+        [
+          Topology.buffer ~capacity_bits:30_000;
+          Topology.throughput ~rate_bps:50_000.0;
+          Topology.delay ~seconds:0.01;
+          Topology.jitter ~seconds:0.05 ~probability:0.3;
+          Topology.loss ~rate:0.1;
+        ];
+  }
+
+type boundary_log = {
+  mutable deliveries : (int64 * string * int * int64) list;  (* time, flow, seq, sent_at *)
+  mutable drops : (int64 * int * string * int) list;  (* time, node, reason, seq *)
+}
+
+let run_runtime_boundary ~seed ~until =
+  let engine = Engine.create ~seed () in
+  let compiled = Compiled.compile_exn boundary_topology in
+  let log = { deliveries = []; drops = [] } in
+  let cb =
+    Utc_elements.Runtime.callbacks
+      ~deliver:(fun flow pkt ->
+        log.deliveries <-
+          ( Int64.bits_of_float (Engine.now engine),
+            Flow.to_string flow,
+            pkt.Packet.seq,
+            Int64.bits_of_float pkt.Packet.sent_at )
+          :: log.deliveries)
+      ~on_drop:(fun ~node_id ~reason pkt ->
+        log.drops <-
+          ( Int64.bits_of_float (Engine.now engine),
+            node_id,
+            Format.asprintf "%a" Utc_elements.Runtime.pp_drop_reason reason,
+            pkt.Packet.seq )
+          :: log.drops)
+      ()
+  in
+  let runtime = Utc_elements.Runtime.build engine compiled cb in
+  ignore runtime;
+  Engine.run ~until engine;
+  log
+
+let run_fluid_boundary ~seed ~until ~background_flows =
+  let engine = Engine.create ~seed () in
+  let compiled = Compiled.compile_exn boundary_topology in
+  let log = { deliveries = []; drops = [] } in
+  let cb =
+    Fluid.callbacks
+      ~deliver:(fun flow pkt ->
+        log.deliveries <-
+          ( Int64.bits_of_float (Engine.now engine),
+            Flow.to_string flow,
+            pkt.Packet.seq,
+            Int64.bits_of_float pkt.Packet.sent_at )
+          :: log.deliveries)
+      ~on_drop:(fun ~node_id ~reason pkt ->
+        log.drops <-
+          ( Int64.bits_of_float (Engine.now engine),
+            node_id,
+            Format.asprintf "%a" Fluid.pp_drop_reason reason,
+            pkt.Packet.seq )
+          :: log.drops)
+      ()
+  in
+  let background = Fluid.population ~flow:Flow.Cross ~flows:background_flows () in
+  let fluid = Fluid.build engine compiled cb ~background in
+  Engine.run ~until engine;
+  (log, fluid)
+
+let delivery_t = Alcotest.(list (pair (pair int64 string) (pair int int64)))
+let drop_t = Alcotest.(list (pair (pair int64 int) (pair string int)))
+
+let pair_up log =
+  ( List.map (fun (t, f, s, a) -> ((t, f), (s, a))) log.deliveries,
+    List.map (fun (t, n, r, s) -> ((t, n), (r, s))) log.drops )
+
+let fluid_degenerates_to_runtime () =
+  List.iter
+    (fun seed ->
+      let truth = run_runtime_boundary ~seed ~until:60.0 in
+      let fluid_log, fluid = run_fluid_boundary ~seed ~until:60.0 ~background_flows:0 in
+      Alcotest.(check int) "no integrator ticks at zero background" 0 (Fluid.steps fluid);
+      let td, tdr = pair_up truth and fd, fdr = pair_up fluid_log in
+      Alcotest.check delivery_t
+        (Printf.sprintf "deliveries bit-identical (seed %d)" seed)
+        td fd;
+      Alcotest.check drop_t (Printf.sprintf "drops bit-identical (seed %d)" seed) tdr fdr;
+      if List.length td = 0 then Alcotest.fail "boundary run delivered nothing")
+    [ 1; 7; 23 ]
+
+let fluid_coupling_stays_foreground_only () =
+  (* With background flows present the packet trajectory may shift (that
+     is the coupling), but foreground packets must still flow end to end
+     and the aggregates must stay finite. *)
+  let log, fluid = run_fluid_boundary ~seed:7 ~until:60.0 ~background_flows:500 in
+  if List.length log.deliveries = 0 then Alcotest.fail "foreground starved by the population";
+  if Fluid.steps fluid = 0 then Alcotest.fail "integrator never ticked";
+  let agg = Fluid.sample fluid in
+  List.iter
+    (fun v ->
+      if not (Float.is_finite v) then Alcotest.fail "non-finite aggregate")
+    [ agg.Fluid.mean_window_pkts; agg.Fluid.offered_pps; agg.Fluid.goodput_bps; agg.Fluid.rtt ]
+
+let fluid_survives_tiny_rate_links () =
+  (* Near-zero-rate links must not produce NaN/inf in the integrator:
+     rates are validated positive, and every division is guarded by the
+     rtt floor and the residual-rate clamp. *)
+  let topo =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Cross ];
+      shared =
+        Topology.series
+          [ Topology.buffer ~capacity_bits:12_000; Topology.throughput ~rate_bps:1e-6 ];
+    }
+  in
+  let engine = Engine.create ~seed:1 () in
+  let fluid =
+    Fluid.build engine
+      (Compiled.compile_exn topo)
+      (Fluid.callbacks ())
+      ~background:(Fluid.population ~flow:Flow.Cross ~flows:100 ())
+  in
+  Engine.run ~until:5.0 engine;
+  let agg = Fluid.sample fluid in
+  List.iter
+    (fun v ->
+      if not (Float.is_finite v) then Alcotest.fail "non-finite aggregate on tiny-rate link")
+    [ agg.Fluid.mean_window_pkts; agg.Fluid.offered_pps; agg.Fluid.goodput_bps; agg.Fluid.rtt;
+      agg.Fluid.loss_prob ];
+  if agg.Fluid.loss_prob < 0.0 || agg.Fluid.loss_prob > 1.0 then
+    Alcotest.failf "loss probability %g out of [0,1]" agg.Fluid.loss_prob
+
+let expect_invalid_build name topo ~background =
+  let engine = Engine.create ~seed:1 () in
+  match Fluid.build engine (Compiled.compile_exn topo) (Fluid.callbacks ()) ~background with
+  | (_ : Fluid.t) -> Alcotest.failf "%s should be rejected" name
+  | exception Invalid_argument _ -> ()
+
+let fluid_build_validation () =
+  let gateful =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Cross ];
+      shared =
+        Topology.series
+          [
+            Topology.intermittent ~mean_time_to_switch:5.0 ();
+            Topology.throughput ~rate_bps:50_000.0;
+          ];
+    }
+  in
+  expect_invalid_build "gate on the background path" gateful
+    ~background:(Fluid.population ~flow:Flow.Cross ~flows:10 ());
+  let plain =
+    {
+      Topology.sources = [ Topology.endpoint Flow.Cross ];
+      shared = Topology.throughput ~rate_bps:50_000.0;
+    }
+  in
+  expect_invalid_build "population flow without an endpoint" plain
+    ~background:(Fluid.population ~flow:Flow.Primary ~flows:10 ());
+  expect_invalid_build "class flow count over the bound" plain
+    ~background:
+      {
+        Fluid.pop_flow = Flow.Cross;
+        pkt_bits = Packet.default_bits;
+        pop_classes = [ { Fluid.flows = Fluid.max_class_flows + 1; init_window_pkts = 1.0 } ];
+      };
+  let engine = Engine.create ~seed:1 () in
+  match
+    Fluid.build
+      ~config:{ Fluid.default_config with dt = 0.0 }
+      engine
+      (Compiled.compile_exn plain)
+      (Fluid.callbacks ())
+      ~background:(Fluid.population ~flow:Flow.Cross ~flows:10 ())
+  with
+  | (_ : Fluid.t) -> Alcotest.fail "dt = 0 should be rejected"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     ("flow identity", `Quick, flow_identity);
@@ -228,4 +431,8 @@ let suite =
     ("compile entry missing", `Quick, compile_entry_missing);
     ("compile diverter", `Quick, compile_diverter_links);
     ("pp smoke", `Quick, topology_pp_smoke);
+    ("fluid degenerates to runtime at zero background", `Quick, fluid_degenerates_to_runtime);
+    ("fluid coupling keeps foreground flowing", `Quick, fluid_coupling_stays_foreground_only);
+    ("fluid survives tiny-rate links", `Quick, fluid_survives_tiny_rate_links);
+    ("fluid build validation", `Quick, fluid_build_validation);
   ]
