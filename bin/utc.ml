@@ -550,14 +550,22 @@ let metrics_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run () experiment seed duration senders domains json =
+  let profile_flag =
+    let doc =
+      "Include the profiling fields (wall seconds, allocation words) in the JSON snapshot. \
+       These vary run to run; leave off for determinism diffs. The $(b,utc top) dashboard \
+       reads a $(b,--json --profile) snapshot to show wall-clock phase costs."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let run () experiment seed duration senders domains json profile =
     ignore (resolve_pool domains : Utc_parallel.Pool.t);
     Utc_obs.Metrics.enable ();
     Utc_obs.Metrics.reset ();
     run_traced experiment ~seed ~duration ~senders;
     Utc_obs.Metrics.disable ();
     let snapshot = Utc_obs.Metrics.snapshot ~at:duration in
-    if json then Format.printf "%s@." (Utc_obs.Metrics.snapshot_json ~profile:false snapshot)
+    if json then Format.printf "%s@." (Utc_obs.Metrics.snapshot_json ~profile snapshot)
     else Utc_obs.Metrics.pp_snapshot Format.std_formatter snapshot;
     Utc_obs.Metrics.reset ()
   in
@@ -570,7 +578,146 @@ let metrics_cmd =
   Cmd.v info
     Term.(
       const run $ logs_term $ experiment_arg $ seed $ duration 120.0 $ senders_opt $ domains_opt
-      $ json)
+      $ json $ profile_flag)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let profileable =
+    [ ("fig1", `Fig1); ("fig3", `Fig3); ("faults", `Faults); ("meanfield", `Meanfield) ]
+  in
+  let experiment =
+    let doc =
+      Printf.sprintf "Experiment to profile: %s."
+        (String.concat ", " (List.map fst profileable))
+    in
+    Arg.(required & pos 0 (some (enum profileable)) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let top =
+    let doc = "Rows in the self-time top table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let format =
+    let doc = "Output format: $(b,text) (tree + top table) or $(b,json)." in
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+        & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let sim_only =
+    let doc =
+      "Render only the deterministic columns (sim-time and call counts); the output is \
+       byte-identical for a fixed seed at any $(b,--domains) count."
+    in
+    Arg.(value & flag & info [ "sim-only" ] ~doc)
+  in
+  let run () experiment seed duration domains top format sim_only =
+    ignore (resolve_pool domains : Utc_parallel.Pool.t);
+    Utc_obs.Metrics.enable ();
+    Utc_obs.Metrics.reset ();
+    run_traced experiment ~seed ~duration ~senders:0;
+    Utc_obs.Metrics.disable ();
+    let snapshot = Utc_obs.Metrics.snapshot ~at:duration in
+    let tree = Utc_obs.Profile.of_spans snapshot.Utc_obs.Metrics.spans in
+    (match format with
+    | `Text -> print_string (Utc_obs.Profile.render_text ~top ~sim_only tree)
+    | `Json -> print_endline (Utc_obs.Profile.render_json ~top ~sim_only tree));
+    Utc_obs.Metrics.reset ()
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:
+        "Run an experiment under the hierarchical profiler and print the nested span tree \
+         with per-phase cost attribution (self vs cumulative sim/wall time, call counts, \
+         allocation). With $(b,--sim-only), the rendering is bit-deterministic at any \
+         $(b,--domains) count."
+  in
+  Cmd.v info
+    Term.(
+      const run $ logs_term $ experiment $ seed $ duration 120.0 $ domains_opt $ top $ format
+      $ sim_only)
+
+(* --- top --- *)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let top_cmd =
+  let journal_arg =
+    let doc =
+      "JSONL journal to read (as written by $(b,utc trace ... --trace-out FILE)). Reread on \
+       every refresh under $(b,--follow), so a journal being appended to works."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Metrics snapshot JSON (from $(b,utc metrics ... --json --profile)); adds the phase \
+       cost bars."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let window =
+    let doc = "Trailing goodput window, simulated seconds." in
+    Arg.(value & opt float 5.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
+  in
+  let interval =
+    let doc = "Refresh interval under $(b,--follow), wall seconds." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let follow =
+    let doc = "Keep refreshing (clearing the screen each frame) until interrupted." in
+    Arg.(value & flag & info [ "follow"; "f" ] ~doc)
+  in
+  let width =
+    let doc = "Frame width in columns." in
+    Arg.(value & opt int 72 & info [ "width" ] ~docv:"COLS" ~doc)
+  in
+  let run () journal metrics window interval follow width =
+    let frame () =
+      let metrics_json = Option.bind metrics read_file in
+      Utc_stats.Dashboard.render_frame ~width ~window ?metrics_json
+        ~journal_lines:(read_lines journal) ()
+    in
+    if follow then
+      (* Read-only tail loop: the dashboard renders from files on disk,
+         so it cannot perturb the run that produces them. *)
+      let rec loop () =
+        print_string "\027[H\027[2J";
+        print_string (frame ());
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+    else print_string (frame ())
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:
+        "Live terminal dashboard over a telemetry journal: per-flow goodput, belief \
+         entropy/ESS, recovery state, and span-phase cost bars. Read-only — it tails files \
+         other commands write and has zero effect on determinism."
+  in
+  Cmd.v info
+    Term.(const run $ logs_term $ journal_arg $ metrics_arg $ window $ interval $ follow $ width)
 
 let obsbench_cmd =
   let out =
@@ -606,6 +753,6 @@ let main_cmd =
     [ fig1_cmd; fig2_cmd; fig3_cmd; prior_cmd; simple_cmd; util_cmd; ablate_cmd; aqm_cmd;
       versus_cmd; versus2_cmd; meanfield_cmd; skew_cmd; faults_cmd; pomdp_cmd; families_cmd;
       sweep_cmd;
-      scale_cmd; parallel_cmd; trace_cmd; metrics_cmd; obsbench_cmd ]
+      scale_cmd; parallel_cmd; trace_cmd; metrics_cmd; profile_cmd; top_cmd; obsbench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

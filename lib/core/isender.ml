@@ -175,6 +175,9 @@ let probing t =
 let rec wakeup t () =
   if not t.running then ()
   else begin
+  (* One span per wakeup: the per-decision cost the paper's §3.3 argues
+     must stay cheap. Belief/recovery/planner phases nest inside it. *)
+  Utc_obs.Metrics.span ~name:"wakeup" ~now:(fun () -> Engine.now t.engine) @@ fun () ->
   let now = Engine.now t.engine in
   t.wakeup_at <- None;
   cancel_timer t;

@@ -111,7 +111,9 @@ let record_decision ~now ~evaluations decision =
    per decision; ROADMAP hot-path program tracks its allocations *)
 let decide ?pool config ~belief ~now ~pending ~make_packet =
   validate config;
-  Utc_obs.Metrics.span ~name:"planner.decide" (fun () ->
+  Utc_obs.Metrics.span ~name:"planner.decide"
+    ~now:(fun () -> now)
+    (fun () ->
   let pool =
     match pool with
     | Some pool -> pool
@@ -148,9 +150,14 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
         candidates
     in
     let net = Array.make n 0.0 in
-    List.iter
-      (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution) (* lint:allow R11 -- per-contribution reduce closure; bounded by #hypotheses *)
-      (Utc_parallel.Pool.map_list pool ~f:price hyps);
+    (* The EU sweep itself, attributed separately from candidate pick and
+       decision recording. Entered/exited on the calling domain only. *)
+    Utc_obs.Metrics.span ~name:"price"
+      ~now:(fun () -> now)
+      (fun () ->
+        List.iter
+          (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution) (* lint:allow R11 -- per-contribution reduce closure; bounded by #hypotheses *)
+          (Utc_parallel.Pool.map_list pool ~f:price hyps));
     let evaluations =
       Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates) (* lint:allow R11 -- decision report row, built once per decide *)
     in

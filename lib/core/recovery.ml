@@ -100,6 +100,10 @@ let record_transition ~at ~from_ ~to_ ~reseeds =
        })
 
 let step ?at config t event =
+  Utc_obs.Metrics.span
+    ?now:(Option.map (fun a () -> a) at)
+    ~name:"recovery.step"
+  @@ fun () ->
   let result =
     match event with
   | Rejected ->

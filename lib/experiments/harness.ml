@@ -152,7 +152,11 @@ let run config =
     | None -> "harness.run"
     | Some r -> Printf.sprintf "harness.run{run=%S}" r
   in
-  Utc_obs.Metrics.span ~name:span_name
+  (* [~root:true]: a domain draining the pool's queue during a sweep can
+     execute another run's whole job inside one of its own spans;
+     re-rooting each run's span subtree at its labeled name keeps every
+     recorded path — and the aggregated tree — schedule-independent. *)
+  Utc_obs.Metrics.span ~name:span_name ~root:true
     ~now:(fun () -> Utc_sim.Engine.now engine)
     (fun () -> Utc_sim.Engine.run ~until:config.duration engine);
   let drops = Utc_core.Receiver.drops receiver in

@@ -224,7 +224,11 @@ let run ?(config = default_config) () =
              sample_at (k + 1)))
   in
   sample_at 1;
-  Engine.run ~until:config.duration engine;
+  (* Root span for the same reason as [Harness.run]'s: mean-field runs
+     may execute as pooled jobs, so the subtree re-roots here. *)
+  Metrics.span ~name:"meanfield.run" ~root:true
+    ~now:(fun () -> Engine.now engine)
+    (fun () -> Engine.run ~until:config.duration engine);
   let final = Fluid.sample fluid in
   let bg_goodput_bps =
     if config.background = 0 then 0.0

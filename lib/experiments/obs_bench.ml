@@ -18,6 +18,8 @@ type report = {
   counter_ns : float;
   labeled_ns : float;
   labeled_overhead_ratio : float;
+  span_ns : float;
+  span_alloc_words : float;
 }
 
 let timed f =
@@ -72,6 +74,27 @@ let enabled_incr_ns () =
   let labeled_ns = time_incr child in
   (counter_ns, labeled_ns)
 
+(* Per-call cost of an enabled profiler span: the path push/pop through
+   domain-local state, two wall-clock reads, a [Gc.quick_stat] pair, and
+   the locked accumulate. No [~now] is passed, so the loop exercises the
+   aggregation path without journaling 10^6 begin/end events. The time
+   bound is generous — spans wrap phases (a belief update, a planner
+   decision), not single instructions — but pins the order of magnitude
+   so a regression (say an accidental snapshot per entry) fails loudly. *)
+let enabled_span_ns () =
+  assert (Metrics.enabled ());
+  let iters = 1_000_000 in
+  let loop () =
+    for _ = 1 to iters do
+      Metrics.span ~name:"obs_bench.span" (fun () -> ())
+    done
+  in
+  let seconds = best_of 3 loop in
+  let minor0 = Gc.minor_words () in
+  loop ();
+  let alloc_words = (Gc.minor_words () -. minor0) /. float_of_int iters in
+  (seconds /. float_of_int iters *. 1e9, alloc_words)
+
 (* Instrumented operations performed during one enabled run, from the
    registry itself: every counter increment, histogram observation, span
    entry and journal record went through one enabled-flag guard. *)
@@ -111,6 +134,7 @@ let run ?(seed = 7) ?(duration = 60.0) ?(repeats = 3) () =
   let events_recorded = journal_length + events_dropped in
   let calls = instrumentation_calls snapshot ~events:events_recorded in
   let counter_ns, labeled_ns = enabled_incr_ns () in
+  let span_ns, span_alloc_words = enabled_span_ns () in
   Metrics.disable ();
   Sink.disable ();
   Metrics.reset ();
@@ -137,6 +161,8 @@ let run ?(seed = 7) ?(duration = 60.0) ?(repeats = 3) () =
     counter_ns;
     labeled_ns;
     labeled_overhead_ratio = (if counter_ns > 0.0 then labeled_ns /. counter_ns else 0.0);
+    span_ns;
+    span_alloc_words;
   }
 
 let to_json r =
@@ -155,11 +181,14 @@ let to_json r =
     \  \"disabled_overhead_percent\": %.4f,\n\
     \  \"counter_ns\": %.3f,\n\
     \  \"labeled_ns\": %.3f,\n\
-    \  \"labeled_overhead_ratio\": %.3f\n\
+    \  \"labeled_overhead_ratio\": %.3f,\n\
+    \  \"span_ns\": %.3f,\n\
+    \  \"span_alloc_words\": %.3f\n\
      }\n"
     r.seed r.duration r.repeats r.disabled_seconds r.enabled_seconds r.enabled_overhead_percent
     r.instrumentation_calls r.events_recorded r.events_dropped r.noop_ns
-    r.disabled_overhead_percent r.counter_ns r.labeled_ns r.labeled_overhead_ratio
+    r.disabled_overhead_percent r.counter_ns r.labeled_ns r.labeled_overhead_ratio r.span_ns
+    r.span_alloc_words
 
 let write_json ~path r =
   let oc = open_out path in
@@ -175,7 +204,13 @@ let pp_report ppf r =
     r.noop_ns r.instrumentation_calls r.disabled_overhead_percent;
   Format.fprintf ppf "  enabled incr    %10.3fns/call plain, %.3fns/call labeled (%.2fx)@."
     r.counter_ns r.labeled_ns r.labeled_overhead_ratio;
+  Format.fprintf ppf "  enabled span    %10.1fns/span, %.1f minor words/span@." r.span_ns
+    r.span_alloc_words;
   Format.fprintf ppf "@.acceptance: disabled-sink overhead %s 2%% bound@."
     (if r.disabled_overhead_percent < 2.0 then "within the" else "EXCEEDS the");
   Format.fprintf ppf "acceptance: labeled-family record %s 2x unlabeled counter bound@."
-    (if r.labeled_overhead_ratio <= 2.0 then "within the" else "EXCEEDS the")
+    (if r.labeled_overhead_ratio <= 2.0 then "within the" else "EXCEEDS the");
+  Format.fprintf ppf "acceptance: enabled span %s 10000ns bound@."
+    (if r.span_ns <= 10_000.0 then "within the" else "EXCEEDS the");
+  Format.fprintf ppf "acceptance: span allocation %s 512 minor words bound@."
+    (if r.span_alloc_words <= 512.0 then "within the" else "EXCEEDS the")

@@ -13,7 +13,13 @@
       bound applies to;
     - [labeled_overhead_ratio]: per-call cost of an enabled increment
       through a cached labeled-family child, relative to a plain
-      counter. Bound: ≤2x — labels must not tax the hot path.
+      counter. Bound: ≤2x — labels must not tax the hot path;
+    - [span_ns] / [span_alloc_words]: per-call wall cost and minor-heap
+      allocation of an enabled profiler span (path push/pop, two clock
+      reads, a [Gc.quick_stat] pair, locked accumulate). Bounds: ≤10 µs
+      and ≤512 minor words per span — generous, since spans wrap phases
+      rather than instructions, but loud on order-of-magnitude
+      regressions.
 
     Leaves both the metrics registry and the sink disabled and reset. *)
 
@@ -32,6 +38,8 @@ type report = {
   counter_ns : float;  (** one enabled plain-counter incr, nanoseconds *)
   labeled_ns : float;  (** same through a cached family child *)
   labeled_overhead_ratio : float;  (** [labeled_ns / counter_ns]; bound 2x *)
+  span_ns : float;  (** one enabled span enter/exit, nanoseconds *)
+  span_alloc_words : float;  (** minor words allocated per enabled span *)
 }
 
 val run : ?seed:int -> ?duration:float -> ?repeats:int -> unit -> report

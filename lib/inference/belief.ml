@@ -232,24 +232,33 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
      makes the posterior bit-identical to the serial path for any domain
      count. Fanning window by window keeps the compaction incremental:
      only one window's forks are materialized at a time. *)
-  (if Utc_parallel.Pool.domains pool <= 1 then
-     List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps
-   else begin
-     let window = Utc_parallel.Pool.domains pool * 8 in
-     let rec windows = function
-       | [] -> ()
-       | hyps ->
-         let batch, rest = take_drop window hyps in
-         List.iter (List.iter absorb) (Utc_parallel.Pool.map_list pool ~f:expand batch);
-         windows rest
-     in
-     windows t.hyps
-   end);
-  let hyps = List.rev_map (fun key -> Hashtbl.find table key) !order in
-  let hyps = prune ~min_weight:t.min_weight hyps in
-  let hyps = normalize_hyps hyps in
-  let hyps = normalize_hyps (cap t hyps) in
-  { t with hyps = sort_heaviest hyps; now }
+  (* The expand/compact phase spans enter and exit on the calling domain
+     only — never inside the pooled [expand] closures, whose execution
+     domain is schedule-dependent — so the span tree stays deterministic. *)
+  Utc_obs.Metrics.span ~name:"expand"
+    ~now:(fun () -> now)
+    (fun () ->
+      if Utc_parallel.Pool.domains pool <= 1 then
+        List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps
+      else begin
+        let window = Utc_parallel.Pool.domains pool * 8 in
+        let rec windows = function
+          | [] -> ()
+          | hyps ->
+            let batch, rest = take_drop window hyps in
+            List.iter (List.iter absorb) (Utc_parallel.Pool.map_list pool ~f:expand batch);
+            windows rest
+        in
+        windows t.hyps
+      end);
+  Utc_obs.Metrics.span ~name:"compact"
+    ~now:(fun () -> now)
+    (fun () ->
+      let hyps = List.rev_map (fun key -> Hashtbl.find table key) !order in
+      let hyps = prune ~min_weight:t.min_weight hyps in
+      let hyps = normalize_hyps hyps in
+      let hyps = normalize_hyps (cap t hyps) in
+      { t with hyps = sort_heaviest hyps; now })
 
 let group_weights t ~key =
   let table = Hashtbl.create 64 in
@@ -311,7 +320,9 @@ let record_update t status =
 
 (* lint:hotpath *)
 let update ?pool t ~sends ~acks ~now ?now_prio () =
-  Utc_obs.Metrics.span ~name:"belief.update" (fun () ->
+  Utc_obs.Metrics.span ~name:"belief.update"
+    ~now:(fun () -> now)
+    (fun () ->
       let result =
         let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
         match conditioned.hyps with

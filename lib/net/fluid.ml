@@ -330,7 +330,12 @@ let start_pinger t (p : Compiled.pinger) =
    against residual capacities and tail-drop headroom, then advance each
    class's AIMD window (Misra-Gong-Towsley fluid Reno:
    dw/dt = 1/R - (w/2) x p). *)
+(* lint:hotpath -- runs every dt (default 10ms of sim time) for the
+   whole run; the per-hop iterator closures must stay allocation-free. *)
 let tick t =
+  (* The integrator phase of the hybrid backend, attributed separately
+     from the packet-mirror phase (see [inject]). *)
+  Utc_obs.Metrics.span ~name:"fluid.tick" ~now:(fun () -> Engine.now t.engine) @@ fun () ->
   let cfg = t.config in
   let dt = cfg.dt in
   (* foreground arrival rates *)
@@ -529,7 +534,12 @@ let build ?(config = default_config) engine compiled cb ~(background : populatio
   if total_flows > 0 then start_ticks t;
   t
 
-let inject t flow pkt = arrive t (Compiled.entry t.compiled flow) pkt
+let inject t flow pkt =
+  (* The packet-mirror phase: the synchronous part of a foreground
+     packet's walk (later hops continue via scheduled arrivals). *)
+  Utc_obs.Metrics.span ~name:"fluid.inject"
+    ~now:(fun () -> Engine.now t.engine)
+    (fun () -> arrive t (Compiled.entry t.compiled flow) pkt)
 let compiled t = t.compiled
 let background_flows t = t.total_flows
 let steps t = t.steps

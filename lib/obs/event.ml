@@ -10,6 +10,8 @@ type t =
   | Recovery_transition of { from_ : string; to_ : string; reseeds : int }
   | Fault of { fault : string; active : bool }
   | Mark of { name : string; value : float }
+  | Span_begin of { path : string }
+  | Span_end of { path : string }
 
 let kind = function
   | Packet_send _ -> "packet_send"
@@ -23,6 +25,8 @@ let kind = function
   | Recovery_transition _ -> "recovery_transition"
   | Fault _ -> "fault"
   | Mark _ -> "mark"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
 
 let fields t : (string * Obs_json.value) list =
   let open Obs_json in
@@ -47,3 +51,5 @@ let fields t : (string * Obs_json.value) list =
     [ ("from", Str from_); ("to", Str to_); ("reseeds", Int reseeds) ]
   | Fault { fault; active } -> [ ("fault", Str fault); ("active", Bool active) ]
   | Mark { name; value } -> [ ("name", Str name); ("value", Float value) ]
+  | Span_begin { path } -> [ ("path", Str path) ]
+  | Span_end { path } -> [ ("path", Str path) ]

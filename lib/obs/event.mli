@@ -26,6 +26,12 @@ type t =
   | Fault of { fault : string; active : bool }
   | Mark of { name : string; value : float }
       (** Free-form scalar annotation for experiment-specific telemetry. *)
+  | Span_begin of { path : string }
+      (** Entry into a {!Metrics.span} scope that was given a sim clock;
+          [path] is the full [/]-separated span path. Begin/end pairs nest
+          properly within one run, so exporters can reconstruct duration
+          slices ({!Export.chrome} emits Chrome [X] events from them). *)
+  | Span_end of { path : string }  (** Exit from the matching {!Span_begin}. *)
 
 val kind : t -> string
 (** Stable snake_case tag, used as the ["event"] field in exports. *)

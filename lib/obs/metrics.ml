@@ -16,10 +16,12 @@ type histogram = {
 }
 
 type span = {
-  s_name : string;
+  s_name : string; (* full /-separated path, e.g. "wakeup/belief.update" *)
   mutable calls : int;
   mutable wall_seconds : float;
   mutable sim_seconds : float;
+  mutable minor_words : float; (* Gc.minor_words delta, cumulative *)
+  mutable major_words : float; (* Gc major_words delta, cumulative *)
 }
 
 let enabled_flag = ref false
@@ -109,33 +111,67 @@ let observe h v =
     Mutex.unlock lock
   end
 
-let span_entry name =
-  register spans name (fun () ->
-      { s_name = name; calls = 0; wall_seconds = 0.0; sim_seconds = 0.0 })
+let span_entry path =
+  register spans path (fun () ->
+      {
+        s_name = path;
+        calls = 0;
+        wall_seconds = 0.0;
+        sim_seconds = 0.0;
+        minor_words = 0.0;
+        major_words = 0.0;
+      })
 
-let span ?now ~name f =
+(* The implicit span stack, one per domain (mirroring Sink's per-run
+   routing): the Dls value is the current full path, "" at the root.
+   Per Dls's contract it only decides *where* a recording lands — which
+   path-keyed tree node accumulates — never a computed result.
+
+   Pool caveat: a caller participating in [Pool.map_*] drains the shared
+   job queue, so a whole *other* top-level job can execute while one of
+   this domain's spans is open. Spans that wrap a pooled top-level job
+   (harness / mean-field runs) must therefore pass [~root:true], which
+   re-roots the subtree at the span's own name and keeps every path —
+   hence the aggregated tree — independent of the pool schedule. *)
+let path_key : string Utc_parallel.Dls.key = Utc_parallel.Dls.new_key (fun () -> "")
+
+let span ?now ?(root = false) ~name f =
   if not !enabled_flag then f ()
   else begin
-    let s = span_entry name in
+    let parent = Utc_parallel.Dls.get path_key in
+    let path = if root || String.length parent = 0 then name else parent ^ "/" ^ name in
+    let s = span_entry path in
+    Utc_parallel.Dls.set path_key path;
+    let gc0 = Gc.quick_stat () in
     let wall0 = Obs_clock.now () in
     let sim0 =
       match now with
       | Some n -> n ()
       | None -> 0.0
     in
+    (match now with
+    | Some _ -> Sink.record ~at:sim0 (Event.Span_begin { path })
+    | None -> ());
     Fun.protect
       ~finally:(fun () ->
         let wall = Obs_clock.elapsed_since wall0 in
-        let sim =
+        let gc1 = Gc.quick_stat () in
+        let sim1 =
           match now with
-          | Some n -> n () -. sim0
+          | Some n -> n ()
           | None -> 0.0
         in
         Mutex.lock lock;
         s.calls <- s.calls + 1;
         s.wall_seconds <- s.wall_seconds +. wall;
-        s.sim_seconds <- s.sim_seconds +. sim;
-        Mutex.unlock lock)
+        s.sim_seconds <- s.sim_seconds +. (sim1 -. sim0);
+        s.minor_words <- s.minor_words +. (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+        s.major_words <- s.major_words +. (gc1.Gc.major_words -. gc0.Gc.major_words);
+        Mutex.unlock lock;
+        Utc_parallel.Dls.set path_key parent;
+        match now with
+        | Some _ -> Sink.record ~at:sim1 (Event.Span_end { path })
+        | None -> ())
       f
   end
 
@@ -292,7 +328,9 @@ let reset () =
     (fun _ s ->
       s.calls <- 0;
       s.wall_seconds <- 0.0;
-      s.sim_seconds <- 0.0)
+      s.sim_seconds <- 0.0;
+      s.minor_words <- 0.0;
+      s.major_words <- 0.0)
     spans;
   Mutex.unlock lock
 
@@ -309,6 +347,8 @@ type span_view = {
   sv_calls : int;
   sv_sim_seconds : float;
   sv_wall_seconds : float; (* profiling only; excluded from determinism diffs *)
+  sv_minor_words : float; (* profiling only *)
+  sv_major_words : float; (* profiling only *)
 }
 
 type snapshot = {
@@ -346,7 +386,13 @@ let snapshot ~at =
             });
       spans =
         sorted_bindings spans (fun s ->
-            { sv_calls = s.calls; sv_sim_seconds = s.sim_seconds; sv_wall_seconds = s.wall_seconds });
+            {
+              sv_calls = s.calls;
+              sv_sim_seconds = s.sim_seconds;
+              sv_wall_seconds = s.wall_seconds;
+              sv_minor_words = s.minor_words;
+              sv_major_words = s.major_words;
+            });
     }
   in
   Mutex.unlock lock;
@@ -384,7 +430,14 @@ let snapshot_json ?(profile = true) s =
           (fun (n, sp) ->
             let fields =
               [ ("calls", Int sp.sv_calls); ("sim_seconds", Float sp.sv_sim_seconds) ]
-              @ if profile then [ ("wall_seconds", Float sp.sv_wall_seconds) ] else []
+              @
+              if profile then
+                [
+                  ("wall_seconds", Float sp.sv_wall_seconds);
+                  ("minor_words", Float sp.sv_minor_words);
+                  ("major_words", Float sp.sv_major_words);
+                ]
+              else []
             in
             quote n ^ ":" ^ obj fields)
           s.spans));
@@ -420,10 +473,11 @@ let pp_snapshot ppf s =
   match s.spans with
   | [] -> ()
   | _ :: _ ->
-    Format.fprintf ppf "spans (wall is profiling-only, excluded from determinism diffs):@.";
+    Format.fprintf ppf "spans (wall/alloc are profiling-only, excluded from determinism diffs):@.";
     List.iter
       (fun (n, sp) ->
-        Format.fprintf ppf "  %-36s calls=%-8d sim=%-12s wall=%.6fs@." n sp.sv_calls
+        Format.fprintf ppf "  %-36s calls=%-8d sim=%-12s wall=%.6fs minor=%.0fw major=%.0fw@." n
+          sp.sv_calls
           (Obs_json.number sp.sv_sim_seconds ^ "s")
-          sp.sv_wall_seconds)
+          sp.sv_wall_seconds sp.sv_minor_words sp.sv_major_words)
       s.spans

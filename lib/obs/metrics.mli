@@ -12,9 +12,10 @@
     histograms must only be mutated from serial sections of a run — or
     through family children whose label sets are disjoint across pooled
     runs (e.g. [run="7"]) — so that {!snapshot} is a pure function of
-    [(seed, schedule)] regardless of the domain count. Span [wall_seconds]
-    is the one exception — it is profiling data, flagged as such, and
-    excluded from deterministic output via [snapshot_json ~profile:false]. *)
+    [(seed, schedule)] regardless of the domain count. Span wall-time and
+    allocation words are the one exception — they are profiling data,
+    flagged as such, and excluded from deterministic output via
+    [snapshot_json ~profile:false]. *)
 
 type counter
 type gauge
@@ -118,13 +119,35 @@ val family_overflows : unit -> int
     [utc_obs_family_overflow] counter). Counted even while recording is
     disabled: cap overflow is a registration-shape fact, not a sample. *)
 
-(** {1 Spans} *)
+(** {1 Spans}
 
-val span : ?now:(unit -> float) -> name:string -> (unit -> 'a) -> 'a
+    Spans form a nested tree, not a flat table. Each domain carries an
+    implicit span stack (domain-local, like {!Sink}'s per-run routing):
+    entering [span ~name:"belief.update"] inside [span ~name:"wakeup"]
+    accumulates under the path ["wakeup/belief.update"]. Every tree node
+    records call count, sim-time, wall-time, and GC minor/major
+    allocation-word deltas; costs are cumulative (a parent's totals
+    include its children's — self time is derived at render time, see
+    {!Profile}). Recursive re-entry into the same name produces distinct
+    paths (["r"], ["r/r"], …), so self-time never double-counts.
+
+    Sim-time and call counts are byte-deterministic at any domain count;
+    wall and allocation words are profiling-only and excluded from
+    deterministic output alongside [wall_seconds]. *)
+
+val span : ?now:(unit -> float) -> ?root:bool -> name:string -> (unit -> 'a) -> 'a
 (** [span ~name f] runs [f] and accumulates its wall-clock duration (via
-    {!Obs_clock}) under [name]; with [?now] it also accumulates the
-    sim-time advanced during [f]. Re-entrant and exception-safe; when the
-    registry is disabled it is exactly [f ()]. *)
+    {!Obs_clock}) and GC allocation deltas under the current stack's path
+    extended by [name]; with [?now] it also accumulates the sim-time
+    advanced during [f] and journals {!Event.Span_begin}/{!Event.Span_end}
+    pairs into the ambient {!Sink} (when that is enabled). Re-entrant and
+    exception-safe; when the registry is disabled it is exactly [f ()].
+
+    [~root:true] ignores the ambient stack and starts a fresh subtree at
+    [name]. Required for spans that wrap a pooled top-level job (harness
+    or mean-field runs): a domain draining the pool's shared queue can
+    execute another job while one of its own spans is open, and re-rooting
+    keeps the recorded paths independent of that schedule. *)
 
 (** {1 Snapshots} *)
 
@@ -140,6 +163,8 @@ type span_view = {
   sv_sim_seconds : float;
   sv_wall_seconds : float;
       (** profiling only; excluded from determinism diffs *)
+  sv_minor_words : float;  (** GC minor words allocated inside the span (profiling only) *)
+  sv_major_words : float;  (** GC major words allocated inside the span (profiling only) *)
 }
 
 type snapshot = {
@@ -148,6 +173,9 @@ type snapshot = {
   gauges : (string * float) list;
   histograms : (string * histogram_view) list;
   spans : (string * span_view) list;
+      (** keyed by full span path; a path-sorted flattening of the span
+          tree (['/'] sorts before ['{'] and most identifier characters,
+          so a parent precedes its children) *)
 }
 
 val snapshot : at:float -> snapshot
@@ -156,8 +184,9 @@ val snapshot : at:float -> snapshot
     deterministic run. *)
 
 val snapshot_json : ?profile:bool -> snapshot -> string
-(** One-line JSON. [~profile:false] drops every wall-clock field, making
-    the output bit-deterministic for fixed [(seed, schedule, domains)]. *)
+(** One-line JSON. [~profile:false] drops every wall-clock and
+    allocation field, making the output bit-deterministic for fixed
+    [(seed, schedule, domains)]. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 

@@ -1,0 +1,203 @@
+(* Cost attribution over the span tree recorded by Metrics.span.
+
+   The snapshot hands us a flat path-keyed table (cumulative totals); we
+   rebuild the tree, derive self = cumulative − Σ direct children for
+   every cost axis, and render either a flame-ordered text report or a
+   JSON document. Sim-time, call counts and tree shape are deterministic
+   for a fixed (seed, schedule) at any domain count; wall-clock and
+   allocation columns are profiling-only and dropped by ~sim_only
+   renders, which is what the golden files and CI determinism diffs
+   pin. *)
+
+type node = {
+  path : string;
+  name : string;
+  depth : int;
+  calls : int;
+  sim : float;
+  wall : float;
+  minor_words : float;
+  major_words : float;
+  self_sim : float;
+  self_wall : float;
+  self_minor_words : float;
+  self_major_words : float;
+  children : node list;
+}
+
+let split_parent path =
+  match String.rindex_opt path '/' with
+  | Some i -> Some (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+  | None -> None
+
+let zero_view =
+  {
+    Metrics.sv_calls = 0;
+    sv_sim_seconds = 0.0;
+    sv_wall_seconds = 0.0;
+    sv_minor_words = 0.0;
+    sv_major_words = 0.0;
+  }
+
+let of_spans spans =
+  let views : (string, Metrics.span_view) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace views p v) spans;
+  (* Every recorded path's ancestors were themselves entered as spans, so
+     they are normally present; synthesize zero nodes defensively (e.g. a
+     reset racing a snapshot) so the tree always connects. *)
+  let rec ensure path =
+    if not (Hashtbl.mem views path) then Hashtbl.replace views path zero_view;
+    match split_parent path with
+    | Some (parent, _) -> ensure parent
+    | None -> ()
+  in
+  List.iter (fun (p, _) -> ensure p) spans;
+  let all = Hashtbl.fold (fun p _ acc -> p :: acc) views [] |> List.sort String.compare in
+  let children : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      match split_parent p with
+      | Some (parent, _) ->
+        let existing = Option.value (Hashtbl.find_opt children parent) ~default:[] in
+        Hashtbl.replace children parent (p :: existing)
+      | None -> ())
+    all;
+  let rec build depth path =
+    let v = Hashtbl.find views path in
+    let kid_paths = List.rev (Option.value (Hashtbl.find_opt children path) ~default:[]) in
+    let kids = List.map (build (depth + 1)) kid_paths in
+    let self total part = Float.max 0.0 (total -. List.fold_left (fun a n -> a +. part n) 0.0 kids) in
+    {
+      path;
+      name =
+        (match split_parent path with
+        | Some (_, name) -> name
+        | None -> path);
+      depth;
+      calls = v.Metrics.sv_calls;
+      sim = v.Metrics.sv_sim_seconds;
+      wall = v.Metrics.sv_wall_seconds;
+      minor_words = v.Metrics.sv_minor_words;
+      major_words = v.Metrics.sv_major_words;
+      self_sim = self v.Metrics.sv_sim_seconds (fun n -> n.sim);
+      self_wall = self v.Metrics.sv_wall_seconds (fun n -> n.wall);
+      self_minor_words = self v.Metrics.sv_minor_words (fun n -> n.minor_words);
+      self_major_words = self v.Metrics.sv_major_words (fun n -> n.major_words);
+      children = kids;
+    }
+  in
+  List.filter_map (fun p -> if Option.is_none (split_parent p) then Some (build 0 p) else None) all
+
+let rec fold f acc roots = List.fold_left (fun acc n -> fold f (f acc n) n.children) acc roots
+
+let flatten roots = List.rev (fold (fun acc n -> n :: acc) [] roots)
+
+(* Descending by self cost; ties (common at self = 0 in sim-only mode)
+   break on the path, so the order is total and deterministic. *)
+let by_self key a b =
+  match Float.compare (key b) (key a) with
+  | 0 -> String.compare a.path b.path
+  | c -> c
+
+let top_nodes ?(top = 10) ~key roots =
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take top (List.sort (by_self key) (flatten roots))
+
+let render_text ?(top = 10) ?(sim_only = false) roots =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if sim_only then
+    add "profile: span tree (sim-time and calls only; deterministic at any --domains)\n"
+  else add "profile: span tree (wall/alloc columns are profiling-only, not deterministic)\n";
+  if sim_only then add "%-52s %10s %14s %14s\n" "path" "calls" "sim(s)" "self-sim(s)"
+  else
+    add "%-52s %10s %12s %12s %12s %12s %12s\n" "path" "calls" "sim(s)" "wall(s)" "self-wall(s)"
+      "minor(kw)" "major(kw)";
+  let rec tree n =
+    let label = String.make (2 * n.depth) ' ' ^ n.name in
+    if sim_only then
+      add "%-52s %10d %14s %14s\n" label n.calls (Obs_json.number n.sim) (Obs_json.number n.self_sim)
+    else
+      add "%-52s %10d %12s %12.6f %12.6f %12.1f %12.1f\n" label n.calls (Obs_json.number n.sim)
+        n.wall n.self_wall (n.minor_words /. 1e3) (n.major_words /. 1e3);
+    List.iter tree n.children
+  in
+  List.iter tree roots;
+  let key = if sim_only then fun n -> n.self_sim else fun n -> n.self_wall in
+  let ranked = top_nodes ~top ~key roots in
+  (match ranked with
+  | [] -> ()
+  | _ :: _ ->
+    add "\ntop %d by self %s time:\n" top (if sim_only then "sim" else "wall");
+    if sim_only then add "%4s %-64s %10s %14s\n" "rank" "path" "calls" "self-sim(s)"
+    else add "%4s %-64s %10s %12s %12s\n" "rank" "path" "calls" "self-wall(s)" "minor(kw)";
+    List.iteri
+      (fun i n ->
+        if sim_only then
+          add "%4d %-64s %10d %14s\n" (i + 1) n.path n.calls (Obs_json.number n.self_sim)
+        else
+          add "%4d %-64s %10d %12.6f %12.1f\n" (i + 1) n.path n.calls n.self_wall
+            (n.self_minor_words /. 1e3))
+      ranked);
+  Buffer.contents buf
+
+let node_fields ~sim_only n =
+  let open Obs_json in
+  [
+    ("name", Str n.name);
+    ("path", Str n.path);
+    ("calls", Int n.calls);
+    ("sim_seconds", Float n.sim);
+    ("self_sim_seconds", Float n.self_sim);
+  ]
+  @
+  if sim_only then []
+  else
+    [
+      ("wall_seconds", Float n.wall);
+      ("self_wall_seconds", Float n.self_wall);
+      ("minor_words", Float n.minor_words);
+      ("self_minor_words", Float n.self_minor_words);
+      ("major_words", Float n.major_words);
+      ("self_major_words", Float n.self_major_words);
+    ]
+
+let render_json ?(top = 10) ?(sim_only = false) roots =
+  let open Obs_json in
+  let buf = Buffer.create 4096 in
+  let rec node n =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (quote k ^ ":" ^ render v))
+      (node_fields ~sim_only n);
+    Buffer.add_string buf ("," ^ quote "children" ^ ":[");
+    List.iteri
+      (fun i child ->
+        if i > 0 then Buffer.add_char buf ',';
+        node child)
+      n.children;
+    Buffer.add_string buf "]}"
+  in
+  Buffer.add_string buf ("{" ^ quote "sim_only" ^ ":" ^ render (Bool sim_only));
+  Buffer.add_string buf ("," ^ quote "tree" ^ ":[");
+  List.iteri
+    (fun i root ->
+      if i > 0 then Buffer.add_char buf ',';
+      node root)
+    roots;
+  Buffer.add_string buf "]";
+  let key = if sim_only then fun n -> n.self_sim else fun n -> n.self_wall in
+  Buffer.add_string buf ("," ^ quote "top" ^ ":[");
+  List.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (obj (node_fields ~sim_only n)))
+    (top_nodes ~top ~key roots);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

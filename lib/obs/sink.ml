@@ -1,4 +1,10 @@
-type recorded = { at : float; seq : int; flow : string option; event : Event.t }
+type recorded = {
+  at : float;
+  seq : int;
+  flow : string option;
+  run : string option;
+  event : Event.t;
+}
 
 type t = {
   mutable capacity : int;
@@ -40,11 +46,6 @@ let with_run ~run handle f =
 
 let run_label () = Option.map snd (Utc_parallel.Dls.get scope_key)
 
-let current () =
-  match Utc_parallel.Dls.get scope_key with
-  | Some (handle, _) -> handle
-  | None -> global
-
 let reset_handle h =
   Mutex.lock h.lock;
   Queue.clear h.queue;
@@ -63,7 +64,7 @@ let enable ?(capacity = default_capacity) () =
 
 let disable () = enabled_flag := false
 
-let push h ?flow ~at event =
+let push h ?flow ?run ~at event =
   Mutex.lock h.lock;
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
@@ -71,10 +72,18 @@ let push h ?flow ~at event =
     ignore (Queue.pop h.queue);
     h.dropped <- h.dropped + 1
   end;
-  Queue.push { at; seq; flow; event } h.queue;
+  Queue.push { at; seq; flow; run; event } h.queue;
   Mutex.unlock h.lock
 
-let record ?flow ~at event = if !enabled_flag then push (current ()) ?flow ~at event
+let record ?flow ~at event =
+  if !enabled_flag then begin
+    let handle, run =
+      match Utc_parallel.Dls.get scope_key with
+      | Some (handle, run) -> (handle, Some run)
+      | None -> (global, None)
+    in
+    push handle ?flow ?run ~at event
+  end
 
 let events_of h =
   Mutex.lock h.lock;

@@ -33,6 +33,10 @@ type recorded = {
   flow : string option;
       (** flow/sender identity for packet-level events; [None] for
           run-scoped events (belief, planner, recovery, faults) *)
+  run : string option;
+      (** the {!with_run} label active when the event was recorded, if
+          any — lets a sweep's absorbed journal attribute every event to
+          its run, and gives the Chrome exporter one track per run *)
   event : Event.t;
 }
 

@@ -50,12 +50,18 @@ let step t =
   loop ()
 
 let run ?(until = Timebase.infinity) t =
-  let rec loop () =
-    match Pheap.min_time t.queue with
-    | None -> ()
-    | Some time when Timebase.( >. ) time until -> t.clock <- until
-    | Some _ -> if step t then loop ()
-  in
-  loop ()
+  (* The root of each run's span tree: every instrumented phase below
+     (wakeups, belief updates, fluid ticks, …) executes inside this
+     extent, and the sim clock makes its sim-time the run's length. *)
+  Utc_obs.Metrics.span ~name:"engine.run"
+    ~now:(fun () -> t.clock)
+    (fun () ->
+      let rec loop () =
+        match Pheap.min_time t.queue with
+        | None -> ()
+        | Some time when Timebase.( >. ) time until -> t.clock <- until
+        | Some _ -> if step t then loop ()
+      in
+      loop ())
 
 let pending t = Pheap.length t.queue

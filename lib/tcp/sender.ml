@@ -135,6 +135,7 @@ let rec arm_timer t =
 and on_timeout t =
   t.timer <- None;
   if t.snd_max - t.high_ack > 0 then begin
+    Utc_obs.Metrics.span ~name:"tcp.on_timeout" ~now:(fun () -> Engine.now t.engine) @@ fun () ->
     t.timeouts <- t.timeouts + 1;
     Utc_obs.Metrics.incr timeouts_c;
     Utc_obs.Sink.record
@@ -231,7 +232,12 @@ let on_ack t ack =
        retransmission timer, which must therefore be armed. *)
     if t.timer = None then arm_timer t
 
+(* lint:hotpath -- runs once per delivered packet; the reassembly loop
+   must stay allocation-free. *)
 let on_delivery t pkt =
+  (* The Reno sender's per-packet hot path: reassembly, cumulative ACK
+     processing, and the window refill it triggers. *)
+  Utc_obs.Metrics.span ~name:"tcp.on_delivery" ~now:(fun () -> Engine.now t.engine) @@ fun () ->
   let seq = pkt.Packet.seq in
   if seq >= t.next_expected && not (Hashtbl.mem t.received seq) then begin
     Hashtbl.replace t.received seq ();

@@ -6,6 +6,7 @@ module Metrics = Utc_obs.Metrics
 module Sink = Utc_obs.Sink
 module Event = Utc_obs.Event
 module Export = Utc_obs.Export
+module Profile = Utc_obs.Profile
 module Trace = Utc_sim.Trace
 module Pool = Utc_parallel.Pool
 module Harness = Utc_experiments.Harness
@@ -79,6 +80,94 @@ let spans_accumulate () =
         Alcotest.(check int) "two calls" 2 sv.Metrics.sv_calls;
         Alcotest.(check (float 1e-9)) "sim seconds accumulate" 5.0 sv.Metrics.sv_sim_seconds)
 
+(* --- nested span tree --- *)
+
+let span_paths_nest () =
+  with_telemetry (fun () ->
+      Metrics.span ~name:"outer" (fun () ->
+          Metrics.span ~name:"inner" (fun () -> ());
+          (* [~root:true] escapes the ambient stack: the pattern sweep
+             runs use so a pool domain draining another whole job does
+             not nest it under its own open span. *)
+          Metrics.span ~root:true ~name:"rerooted" (fun () ->
+              Metrics.span ~name:"child" (fun () -> ())));
+      Metrics.span ~name:"outer" (fun () -> ());
+      let snap = Metrics.snapshot ~at:0.0 in
+      let calls path =
+        match List.assoc_opt path snap.Metrics.spans with
+        | Some sv -> sv.Metrics.sv_calls
+        | None -> Alcotest.failf "span path %s missing" path
+      in
+      Alcotest.(check int) "parent path" 2 (calls "outer");
+      Alcotest.(check int) "child records under its full path" 1 (calls "outer/inner");
+      Alcotest.(check int) "root span ignores the ambient stack" 1 (calls "rerooted");
+      Alcotest.(check int) "nesting resumes under the new root" 1 (calls "rerooted/child");
+      Alcotest.(check (option Alcotest.reject)) "no bare child entry" None
+        (Option.map (fun _ -> ()) (List.assoc_opt "inner" snap.Metrics.spans)))
+
+(* Recursion yields distinct paths ("r", "r/r", ...), so cumulative
+   time is not double-counted and derived self time stays within the
+   cumulative total at every node — the re-entrancy regression. *)
+let span_reentrancy_self_within_cumulative () =
+  with_telemetry (fun () ->
+      let sim = ref 0.0 in
+      let now () = !sim in
+      let rec recur d =
+        Metrics.span ~now ~name:"r" (fun () ->
+            sim := !sim +. 1.0;
+            if d > 0 then recur (d - 1))
+      in
+      recur 2;
+      let snap = Metrics.snapshot ~at:!sim in
+      let sv path = List.assoc path snap.Metrics.spans in
+      Alcotest.(check int) "each depth is its own path" 1 (sv "r").Metrics.sv_calls;
+      Alcotest.(check (float 1e-9)) "outer call spans the whole recursion" 3.0
+        (sv "r").Metrics.sv_sim_seconds;
+      Alcotest.(check (float 1e-9)) "inner levels nest" 2.0 (sv "r/r").Metrics.sv_sim_seconds;
+      (* [reset] zeroes but keeps entries registered by earlier tests in
+         this process; restrict the tree to this test's recursion. *)
+      let rspans =
+        List.filter
+          (fun (p, _) -> String.equal p "r" || String.starts_with ~prefix:"r/" p)
+          snap.Metrics.spans
+      in
+      let nodes = Profile.flatten (Profile.of_spans rspans) in
+      Alcotest.(check int) "three tree nodes" 3 (List.length nodes);
+      List.iter
+        (fun (n : Profile.node) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "self <= cumulative at %s" n.Profile.path)
+            true
+            (n.Profile.self_sim <= n.Profile.sim +. 1e-9))
+        nodes;
+      match nodes with
+      | root :: _ ->
+        Alcotest.(check (float 1e-9)) "root self excludes the nested levels" 1.0
+          root.Profile.self_sim
+      | [] -> Alcotest.fail "profile tree empty")
+
+let span_journal_pairs () =
+  with_telemetry (fun () ->
+      Sink.enable ();
+      let sim = ref 0.0 in
+      let now () = !sim in
+      Metrics.span ~now ~name:"a" (fun () ->
+          sim := 1.0;
+          Metrics.span ~now ~name:"b" (fun () -> sim := 2.0));
+      let shape =
+        List.map
+          (fun (r : Sink.recorded) ->
+            match r.Sink.event with
+            | Event.Span_begin { path } -> ("B " ^ path, r.Sink.at)
+            | Event.Span_end { path } -> ("E " ^ path, r.Sink.at)
+            | e -> (Event.kind e, r.Sink.at))
+          (Sink.events ())
+      in
+      Alcotest.(check (list (pair string (float 0.0))))
+        "begin/end pairs nest, stamped with sim time"
+        [ ("B a", 0.0); ("B a/b", 1.0); ("E a/b", 2.0); ("E a", 2.0) ]
+        shape)
+
 let snapshot_is_sorted_and_profile_free () =
   with_telemetry (fun () ->
       Metrics.incr (Metrics.counter "test.zz");
@@ -102,7 +191,12 @@ let snapshot_is_sorted_and_profile_free () =
       Alcotest.(check bool) "snapshot json carries the sim-time key" true
         (contains "\"at\":1.5" json);
       Alcotest.(check bool) "~profile:false drops wall-clock fields" false
-        (contains "wall" json))
+        (contains "wall" json);
+      Alcotest.(check bool) "~profile:false drops allocation fields" false
+        (contains "minor" json || contains "major" json);
+      let profiled = Metrics.snapshot_json ~profile:true snap in
+      Alcotest.(check bool) "~profile:true keeps wall and allocation fields" true
+        (contains "wall_seconds" profiled && contains "minor_words" profiled))
 
 (* --- event sink --- *)
 
@@ -242,6 +336,7 @@ let jsonl_shape () =
       Sink.at = 1.5;
       seq = 7;
       flow = Some "primary";
+      run = None;
       event = Event.Packet_send { seq = 3; bits = 8000 };
     }
   in
@@ -251,23 +346,32 @@ let jsonl_shape () =
   Alcotest.(check string) "no flow field on unattributed records"
     "{\"t\":1.5,\"n\":7,\"event\":\"packet_send\",\"seq\":3,\"bits\":8000}"
     (Export.jsonl_line { r with Sink.flow = None });
+  Alcotest.(check string) "run label rendered when present"
+    "{\"t\":1.5,\"n\":7,\"event\":\"packet_send\",\"flow\":\"primary\",\"run\":\"2\",\"seq\":3,\"bits\":8000}"
+    (Export.jsonl_line { r with Sink.run = Some "2" });
   Alcotest.(check string) "jsonl is newline-terminated" (Export.jsonl_line r ^ "\n")
     (Export.jsonl [ r ])
+
+let contains needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 let chrome_shape () =
   let records =
     [
-      { Sink.at = 0.5; seq = 0; flow = None; event = Event.Timeout { seq = 1 } };
-      { Sink.at = 1.0; seq = 1; flow = Some "primary"; event = Event.Packet_ack { seq = 1 } };
-      { Sink.at = 2.0; seq = 2; flow = Some "aux0"; event = Event.Timeout { seq = 2 } };
+      { Sink.at = 0.5; seq = 0; flow = None; run = None; event = Event.Timeout { seq = 1 } };
+      {
+        Sink.at = 1.0;
+        seq = 1;
+        flow = Some "primary";
+        run = None;
+        event = Event.Packet_ack { seq = 1 };
+      };
+      { Sink.at = 2.0; seq = 2; flow = Some "aux0"; run = None; event = Event.Timeout { seq = 2 } };
     ]
   in
   let out = Export.chrome records in
-  let contains needle hay =
-    let n = String.length needle in
-    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
-    go 0
-  in
   Alcotest.(check bool) "JSON array" true (out.[0] = '[');
   Alcotest.(check bool) "instant events" true (contains "\"ph\":\"i\"" out);
   Alcotest.(check bool) "microsecond timestamps" true (contains "\"ts\":500000" out);
@@ -279,7 +383,53 @@ let chrome_shape () =
     (contains "\"ph\":\"M\"" out
     && contains "{\"name\":\"sim\"}" out
     && contains "{\"name\":\"flow primary\"}" out
-    && contains "{\"name\":\"flow aux0\"}" out)
+    && contains "{\"name\":\"flow aux0\"}" out);
+  Alcotest.(check bool) "thread_name metadata names the kind lanes" true
+    (contains "\"name\":\"thread_name\"" out && contains "{\"name\":\"timeout\"}" out)
+
+(* Matched begin/end pairs become complete ("X") slices; an end whose
+   begin fell off the journal ring is dropped; a begin whose end lies
+   beyond the journal's horizon survives as an unterminated "B" slice —
+   exactly the shapes a saturated ring produces at either edge. *)
+let chrome_span_slices_and_orphans () =
+  let rec_ at seq event = { Sink.at; seq; flow = None; run = None; event } in
+  let out =
+    Export.chrome
+      [
+        rec_ 1.0 0 (Event.Span_end { path = "lost" });
+        rec_ 2.0 1 (Event.Span_begin { path = "a" });
+        rec_ 3.0 2 (Event.Span_begin { path = "a/b" });
+        rec_ 4.0 3 (Event.Span_end { path = "a/b" });
+      ]
+  in
+  Alcotest.(check bool) "matched pair becomes a duration slice" true
+    (contains "\"name\":\"a/b\",\"ph\":\"X\",\"ts\":3000000,\"dur\":1000000" out);
+  Alcotest.(check bool) "orphaned end is skipped" false (contains "lost" out);
+  Alcotest.(check bool) "unterminated begin survives as B" true
+    (contains "\"name\":\"a\",\"ph\":\"B\",\"ts\":2000000" out);
+  Alcotest.(check bool) "spans ride the reserved tid 0 lane" true
+    (contains "{\"name\":\"spans\"}" out)
+
+let chrome_run_tracks () =
+  let rec_ at seq run event = { Sink.at; seq; flow = None; run = Some run; event } in
+  let out =
+    Export.chrome
+      [
+        rec_ 0.0 0 "0" (Event.Span_begin { path = "harness.run" });
+        rec_ 1.0 1 "0" (Event.Span_end { path = "harness.run" });
+        rec_ 0.0 2 "1" (Event.Span_begin { path = "harness.run" });
+        rec_ 2.0 3 "1" (Event.Span_end { path = "harness.run" });
+      ]
+  in
+  Alcotest.(check bool) "one pid per run, named by its label" true
+    (contains "{\"name\":\"run 0\"}" out && contains "{\"name\":\"run 1\"}" out);
+  Alcotest.(check bool) "runs get separate processes" true
+    (contains "\"pid\":2" out && contains "\"pid\":3" out);
+  (* Same span path, same timestamps, two runs: each run's stack is
+     private, so both pairs match into their own slice. *)
+  Alcotest.(check bool) "per-run slices" true
+    (contains "\"ph\":\"X\",\"ts\":0,\"dur\":1000000,\"pid\":2" out
+    && contains "\"ph\":\"X\",\"ts\":0,\"dur\":2000000,\"pid\":3" out)
 
 let series_extraction () =
   let records =
@@ -288,13 +438,15 @@ let series_extraction () =
         Sink.at = 1.0;
         seq = 0;
         flow = None;
+        run = None;
         event = Event.Belief_update { size = 10; entropy = 2.0; ess = 8.0; status = "consistent" };
       };
-      { Sink.at = 1.5; seq = 1; flow = None; event = Event.Timeout { seq = 4 } };
+      { Sink.at = 1.5; seq = 1; flow = None; run = None; event = Event.Timeout { seq = 4 } };
       {
         Sink.at = 2.0;
         seq = 2;
         flow = None;
+        run = None;
         event = Event.Planner_decide { action = "send_now"; delay = 0.0; margin = 0.5; candidates = 4 };
       };
     ]
@@ -359,11 +511,12 @@ let journal_of_run domains config =
       Sink.enable ();
       ignore (Harness.run config);
       let journal = Export.jsonl (Sink.events ()) in
-      let metrics =
-        Metrics.snapshot_json ~profile:false
-          (Metrics.snapshot ~at:config.Harness.duration)
-      in
-      (journal, metrics))
+      let snap = Metrics.snapshot ~at:config.Harness.duration in
+      let metrics = Metrics.snapshot_json ~profile:false snap in
+      (* The rendered sim-only span tree is part of the determinism
+         contract too: shape, nesting, call counts and sim time. *)
+      let profile = Profile.render_text ~sim_only:true (Profile.of_spans snap.Metrics.spans) in
+      (journal, metrics ^ "\n" ^ profile))
 
 let journal_domain_invariance =
   QCheck.Test.make ~name:"jsonl journal and metrics are pool-size invariant" ~count:2
@@ -442,6 +595,9 @@ let suite =
     ("gauges", `Quick, gauges_hold_last_value);
     ("histogram buckets", `Quick, histogram_buckets);
     ("spans", `Quick, spans_accumulate);
+    ("span paths nest", `Quick, span_paths_nest);
+    ("span re-entrancy self within cumulative", `Quick, span_reentrancy_self_within_cumulative);
+    ("span journal begin/end pairs", `Quick, span_journal_pairs);
     ("snapshot sorted, profile excluded", `Quick, snapshot_is_sorted_and_profile_free);
     ("sink order and disable", `Quick, sink_records_in_order);
     ("sink ring buffer", `Quick, sink_ring_drops_oldest);
@@ -450,6 +606,8 @@ let suite =
     ("family cardinality cap", `Quick, family_cardinality_cap);
     ("jsonl export", `Quick, jsonl_shape);
     ("chrome export", `Quick, chrome_shape);
+    ("chrome span slices and orphans", `Quick, chrome_span_slices_and_orphans);
+    ("chrome run tracks", `Quick, chrome_run_tracks);
     ("series extraction", `Quick, series_extraction);
     ("trace ring buffer", `Quick, trace_ring_buffer);
     ("trace unbounded default", `Quick, trace_unbounded_default);
