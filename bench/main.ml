@@ -104,7 +104,16 @@ let report_parallel () =
   let report = E.Par_bench.run ~domains () in
   E.Par_bench.pp_report Format.std_formatter report;
   E.Par_bench.write_json ~path:"BENCH_parallel.json" report;
-  Format.printf "wrote BENCH_parallel.json@."
+  Format.printf "wrote BENCH_parallel.json@.";
+  let regressed =
+    match E.Par_bench.regressions report with
+    | [] -> false
+    | _ :: _ -> true
+  in
+  if (not report.E.Par_bench.all_identical) || regressed then begin
+    Format.printf "parallel benchmark FAILED: divergence or adaptive-path regression@.";
+    exit 1
+  end
 
 let report_obs () =
   section "Observability - telemetry overhead, sink disabled vs enabled";

@@ -402,13 +402,19 @@ let parallel_cmd =
     E.Par_bench.pp_report Format.std_formatter report;
     E.Par_bench.write_json ~path:out report;
     Format.printf "wrote %s@." out;
-    if not report.E.Par_bench.all_identical then exit 1
+    let regressed =
+      match E.Par_bench.regressions report with
+      | [] -> false
+      | _ :: _ -> true
+    in
+    if (not report.E.Par_bench.all_identical) || regressed then exit 1
   in
   let info =
     Cmd.info "parallel"
       ~doc:
         "Serial vs multi-domain wall time for the belief filter, planner and harness sweep, \
-         with a bit-equality attestation; exits non-zero on any divergence."
+         with a bit-equality attestation; exits non-zero on any divergence or when the \
+         adaptive scheduler makes an entry slower than serial."
   in
   Cmd.v info Term.(const run $ logs_term $ seed $ duration 30.0 $ domains_opt $ out)
 

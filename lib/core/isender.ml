@@ -66,8 +66,13 @@ type 'p t = {
   mutable running : bool;
 }
 
-let default_decider config belief ~now ~pending ~make_packet =
-  Planner.decide config.planner ~belief ~now ~pending ~make_packet
+(* One gross-utility cache per sender instance: [create] applies
+   [default_decider config] once, so the cache lives exactly as long as
+   the sender and is never shared across senders. *)
+let default_decider config =
+  let cache = Planner.make_cache () in
+  fun belief ~now ~pending ~make_packet ->
+    Planner.decide ~cache config.planner ~belief ~now ~pending ~make_packet
 
 let create ?decide ?reseed engine config ~belief ~inject =
   let ladder = Recovery.initial (Option.value config.recovery ~default:Recovery.default_config) in

@@ -59,6 +59,84 @@ type evaluation = {
   net_utility : float;
 }
 
+(* Content-keyed gross-utility memo. A strategy's gross utility is a
+   deterministic function of (hypothesis params, model state, send list,
+   now, horizon end); when consecutive decisions share a rollout — the
+   burst loop re-prices last round's candidate-0 send list as this
+   round's baseline, against unchanged hypothesis states and the same
+   wakeup time — the cache turns the repeated sweep into an incremental
+   recombination of already-priced per-hypothesis contributions under
+   the new pending list. Keys are exact byte encodings, never rounded,
+   so a hit returns bit-identical utility to a fresh rollout.
+
+   Traffic is deliberately asymmetric: only the baseline is ever looked
+   up, and only the baseline and candidate 0 are ever stored. Within a
+   wakeup the packet sequence numbers of candidates advance every
+   iteration, so candidates 1..n can never be re-requested — keying all
+   of them would hash the (params, state) encoding once per rollout for
+   lookups that cannot hit, which costs more than the sweep saves. *)
+type cache = {
+  table : (string, float) Hashtbl.t;
+  lock : Mutex.t;  (* pooled pricing may probe from several domains *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_cache ?(capacity = 8192) () =
+  if capacity < 1 then invalid_arg "Planner.make_cache: capacity must be >= 1";
+  { table = Hashtbl.create 256; lock = Mutex.create (); capacity; hits = 0; misses = 0 }
+
+let cache_stats c =
+  Mutex.lock c.lock;
+  let stats = (c.hits, c.misses) in
+  Mutex.unlock c.lock;
+  stats
+
+let add_float buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
+
+(* Shared key prefix for every strategy priced against one hypothesis in
+   one decision — parameters, exact model state, decision time, horizon —
+   collapsed to a 16-byte digest so per-strategy keys stay short however
+   large the marshaled state is. Computed once per hypothesis per
+   decision, in the serial prologue. *)
+let hyp_digest ~now ~t_end (hyp : _ Belief.hypothesis) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Marshal.to_string hyp.Belief.params []);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (Utc_model.Mstate.canonical hyp.Belief.state);
+  add_float buf now;
+  add_float buf t_end;
+  Digest.string (Buffer.contents buf)
+
+let strategy_key ~digest sends =
+  let buf = Buffer.create (String.length digest + 40) in
+  Buffer.add_string buf digest;
+  List.iter
+    (fun (at, (p : Utc_net.Packet.t)) ->
+      add_float buf at;
+      Buffer.add_int64_le buf (Int64.of_int p.Utc_net.Packet.seq);
+      Buffer.add_int64_le buf (Int64.of_int (Utc_net.Flow.hash p.Utc_net.Packet.flow));
+      Buffer.add_int64_le buf (Int64.of_int p.Utc_net.Packet.bits);
+      add_float buf p.Utc_net.Packet.sent_at)
+    sends;
+  Buffer.contents buf
+
+let cache_find c key =
+  Mutex.lock c.lock;
+  let found = Hashtbl.find_opt c.table key in
+  (match found with
+  | Some _ -> c.hits <- c.hits + 1
+  | None -> c.misses <- c.misses + 1);
+  Mutex.unlock c.lock;
+  found
+
+let cache_store c key utility =
+  Mutex.lock c.lock;
+  if Hashtbl.length c.table >= c.capacity then Hashtbl.reset c.table;
+  Hashtbl.replace c.table key utility;
+  Mutex.unlock c.lock
+
 let validate config =
   match config.delays with
   | 0.0 :: rest when List.for_all (fun d -> d > 0.0) rest ->
@@ -107,9 +185,11 @@ let record_decision ~now ~evaluations decision =
          { action; delay; margin; candidates = List.length evaluations })
   end
 
+let price_cost = Utc_parallel.Pool.Cost.make ~label:"planner.price"
+
 (* lint:hotpath -- the EU sweep prices every (hypothesis x delay) pair
    per decision; ROADMAP hot-path program tracks its allocations *)
-let decide ?pool config ~belief ~now ~pending ~make_packet =
+let decide ?pool ?cache config ~belief ~now ~pending ~make_packet =
   validate config;
   Utc_obs.Metrics.span ~name:"planner.decide"
     ~now:(fun () -> now)
@@ -130,23 +210,52 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
     let t_end = now +. max_delay +. config.horizon in
     let candidates = Array.of_list config.delays in
     let n = Array.length candidates in
+    (* Serial prologue, before the pool fan: the memoized plan variant
+       mutates the shared [prepared] record and the cache key digest
+       marshals hypothesis state — neither belongs inside a pooled job. *)
+    let hyps = Array.of_list hyps in
+    let plans = Array.map (fun (h : _ Belief.hypothesis) -> Forward.plan_variant h.Belief.prepared) hyps in
+    let digests =
+      match cache with
+      | None -> [||]
+      | Some _ -> Array.map (hyp_digest ~now ~t_end) hyps
+    in
     (* Per-hypothesis rollouts are independent of each other; fan them
        across the pool and reduce the per-candidate contributions in
        hypothesis index order, so the accumulated expected utilities add
        in exactly the serial order (bit-identical for any pool size). *)
-    let price hyp =
+    let price i =
+      let hyp = hyps.(i) in
       let weight = exp (hyp.Belief.logw -. z) in
-      let plan_config = { (Forward.config_of hyp.Belief.prepared) with Forward.fork_gates = false } in (* lint:allow R11 -- per-hypothesis plan config: rollouts price with gate forking off *)
-      let prepared = Forward.prepare plan_config (Forward.compiled_of hyp.Belief.prepared) in
+      let prepared = plans.(i) in
       let utility_of sends = (* lint:allow R11 -- closure over this hypothesis' prepared model and state *)
         let outcomes = Forward.run prepared hyp.Belief.state ~sends ~until:t_end in
         Utility.of_outcomes config.utility ~now outcomes
       in
-      let baseline = utility_of pending in
+      (* Only the baseline is worth probing: within a burst the sender's
+         pending list at wakeup k+1 is exactly candidate 0's send list at
+         wakeup k (rollout packets included), so baseline rollouts replay
+         from the candidate-0 entries stored one decision earlier. *)
+      let baseline =
+        match cache with
+        | None -> utility_of pending
+        | Some c -> (
+          let key = strategy_key ~digest:digests.(i) pending in
+          match cache_find c key with
+          | Some utility -> utility
+          | None ->
+            let utility = utility_of pending in
+            cache_store c key utility;
+            utility)
+      in
       Array.map
         (fun d -> (* lint:allow R11 -- per-candidate send list; bounded by #delays *)
           let sends = pending @ strategy_sends config ~now ~make_packet d ~t_end in
-          weight *. (utility_of sends -. baseline))
+          let utility = utility_of sends in
+          (match cache with
+          | Some c when d = 0.0 -> cache_store c (strategy_key ~digest:digests.(i) sends) utility
+          | Some _ | None -> ());
+          weight *. (utility -. baseline))
         candidates
     in
     let net = Array.make n 0.0 in
@@ -155,9 +264,16 @@ let decide ?pool config ~belief ~now ~pending ~make_packet =
     Utc_obs.Metrics.span ~name:"price"
       ~now:(fun () -> now)
       (fun () ->
-        List.iter
-          (fun contribution -> Array.iteri (fun i c -> net.(i) <- net.(i) +. c) contribution) (* lint:allow R11 -- per-contribution reduce closure; bounded by #hypotheses *)
-          (Utc_parallel.Pool.map_list pool ~f:price hyps));
+        let contributions =
+          Utc_parallel.Pool.map_array ~cost:price_cost pool ~f:price
+            (Array.init (Array.length hyps) Fun.id)
+        in
+        for h = 0 to Array.length contributions - 1 do
+          let contribution = contributions.(h) in
+          for i = 0 to n - 1 do
+            net.(i) <- net.(i) +. contribution.(i)
+          done
+        done);
     let evaluations =
       Array.to_list (Array.mapi (fun i d -> { delay = d; net_utility = net.(i) }) candidates) (* lint:allow R11 -- decision report row, built once per decide *)
     in

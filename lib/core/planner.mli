@@ -54,8 +54,35 @@ type evaluation = {
   net_utility : float;  (** Expected utility minus the no-send baseline. *)
 }
 
+type cache
+(** Content-keyed gross-utility memo. A strategy's gross utility is a
+    deterministic function of (hypothesis params, exact model state, send
+    list, decision time, horizon end); the cache keys on exact byte
+    encodings of all five (the per-hypothesis part collapsed to a digest,
+    computed once per decision), so a hit is bit-identical to a fresh
+    rollout and [decide] with a cache returns exactly what it returns
+    without one. Traffic is asymmetric by design: only the baseline is
+    looked up, and only the baseline and candidate 0 are stored — within
+    a burst the pending list at wakeup [k+1] is exactly candidate 0's
+    send list at wakeup [k], so baseline rollouts replay from the
+    previous decision while the other candidates (whose sequence numbers
+    advance every iteration) are never re-requested. Thread-safe;
+    bounded by [capacity] entries (reset wholesale on overflow). *)
+
+val make_cache : ?capacity:int -> unit -> cache
+(** Default capacity 8192 gross utilities. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation. *)
+
+val price_cost : Utc_parallel.Pool.Cost.t
+(** The adaptive cost handle behind the per-hypothesis pricing fan
+    (label ["planner.price"]); exposed for the parallel benchmark and
+    tests. *)
+
 val decide :
   ?pool:Utc_parallel.Pool.t ->
+  ?cache:cache ->
   config ->
   belief:'p Utc_inference.Belief.t ->
   now:Utc_sim.Timebase.t ->
@@ -69,6 +96,7 @@ val decide :
     utility the decision is to sleep until the last candidate.
 
     Per-hypothesis rollouts fan across [pool] (default:
-    {!Utc_parallel.Pool.default}) and merge in hypothesis index order;
-    the decision and evaluations are bit-identical for every pool
-    size. *)
+    {!Utc_parallel.Pool.default}) under an adaptive cost handle — small
+    sweeps run serially — and merge in hypothesis index order; the
+    decision and evaluations are bit-identical for every pool size, with
+    or without [cache]. *)

@@ -199,6 +199,8 @@ let run config =
    concatenated journal is therefore byte-identical at any domain
    count. The [with_run] binding rides the job closure, so it lands on
    whichever domain executes the run (nested pool drains included). *)
+let run_cost = Utc_parallel.Pool.Cost.make ~label:"harness.run"
+
 let run_many ?pool configs =
   let pool =
     match pool with
@@ -210,7 +212,7 @@ let run_many ?pool configs =
     List.mapi (fun i config -> (i, config, Utc_obs.Sink.create ~capacity ())) configs
   in
   let results =
-    Utc_parallel.Pool.map_list pool
+    Utc_parallel.Pool.map_list ~cost:run_cost pool
       ~f:(fun (i, config, sink) ->
         Utc_obs.Sink.with_run ~run:(string_of_int i) sink (fun () -> run config))
       jobs

@@ -1,26 +1,37 @@
-(** Serial-vs-parallel benchmark with a bit-equality attestation.
+(** Serial-vs-parallel benchmark with a bit-equality attestation and a
+    no-regression grade for the adaptive scheduler.
 
     Times the three pool-backed layers — one {!Utc_inference.Belief}
     conditioning window over the full paper prior, one
     {!Utc_core.Planner.decide} over the heaviest hypotheses, and a
-    (seed, α) sweep of whole {!Harness} runs — serially and on an
-    [N]-domain pool, and checks the pooled results are bit-identical to
-    the serial ones (everything except wall time). The report feeds
-    [BENCH_parallel.json] (CI artifact) and the EXPERIMENTS.md speedup
-    table.
+    (seed, α) sweep of whole {!Harness} runs — under three schedules:
+    serial (one domain), forced (an [N]-domain [Fixed] pool that always
+    engages), and auto (an [N]-domain [Adaptive] pool running the shipped
+    cost-model decision, primed from the measured serial run). Results
+    must be bit-identical across all three (everything except wall time).
+    The report feeds [BENCH_parallel.json] (CI artifact) and the
+    EXPERIMENTS.md speedup table.
 
-    Speedup is hardware-relative: on a single-core container it is ~1
-    even though the partitioning is perfect, which is why
-    [recommended_domains] (the machine's core inventory) is part of the
-    record. Bit-equality must hold everywhere. *)
+    [speedup] grades the shipped path: serial over auto wall time when
+    the cost model engaged the pool, and exactly 1.0 when it fell back
+    (the schedules are identical by construction, so timer noise is not
+    reported as a slowdown). An entry with [speedup < 1.0] means the
+    adaptive scheduler made a run slower — the regression this benchmark
+    exists to catch. [forced_speedup] is informational: what unconditional
+    engagement costs or buys on this machine. *)
 
 type entry = {
   label : string;
   work_items : int;  (** Independent units fanned across the pool. *)
   serial_seconds : float;
-  parallel_seconds : float;
-  speedup : float;  (** [serial_seconds /. parallel_seconds]. *)
-  bit_identical : bool;
+  forced_seconds : float;  (** [Fixed] pool: always engages. *)
+  auto_seconds : float;  (** [Adaptive] pool: measured decision. *)
+  engaged : bool;  (** Did the cost model engage the pool? *)
+  reason : string;  (** Decision reason (e.g. ["below-threshold"]). *)
+  speedup : float;
+      (** [serial /. auto] when engaged; exactly [1.0] on fallback. *)
+  forced_speedup : float;  (** [serial /. forced], informational. *)
+  bit_identical : bool;  (** Serial, forced and auto results all agree. *)
 }
 
 type report = {
@@ -32,8 +43,14 @@ type report = {
 
 val run : ?domains:int -> ?seed:int -> ?duration:float -> unit -> report
 (** [domains] defaults to {!Utc_parallel.Pool.default_domains} (the
-    [UTC_DOMAINS] environment); [seed] (default 7) and [duration]
-    (default 30 s) shape the harness sweep. *)
+    [UTC_DOMAINS] environment, or the machine's recommended domain count
+    when unset); [seed] (default 7) and [duration] (default 30 s) shape
+    the harness sweep. *)
+
+val regressions : report -> entry list
+(** Entries where the shipped adaptive path lost to serial
+    ([speedup < 1.0]) or any schedule changed the result
+    ([bit_identical = false]). Empty on a healthy machine. *)
 
 val to_json : report -> string
 

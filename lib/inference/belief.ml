@@ -21,8 +21,26 @@ type cap_policy =
   | `Resample of Rng.t
   ]
 
+(* Structure-of-arrays hypothesis storage (ROADMAP hot-path program):
+   the weight pipeline — logsumexp, normalize, prune, ESS, posterior
+   mass — runs as tight loops over one flat unboxed [float array]
+   instead of chasing a record per hypothesis, and the payload columns
+   ride in parallel arrays permuted together. Every fold below iterates
+   in ascending index order, which is exactly the order the former
+   [hypothesis list] pipeline summed in, so the stored bits are
+   unchanged. Index [i] across all five arrays is one hypothesis;
+   [sort_store]'s comparator falls back to the index, emulating the
+   stable sort the list code relied on. *)
+type 'p store = {
+  params : 'p array;
+  prepared : Forward.prepared array;
+  states : Mstate.t array;
+  logw : float array;
+  awaiting : Forward.delivery list array;
+}
+
 type 'p t = {
-  hyps : 'p hypothesis list;
+  store : 'p store;
   tick : float;
   min_weight : float;
   max_hyps : int;
@@ -36,12 +54,57 @@ type update_status =
   | Consistent
   | All_rejected
 
-let normalize_hyps hyps =
-  let z = Logw.logsumexp (List.map (fun h -> h.logw) hyps) in
-  if z = neg_infinity then []
-  else List.map (fun h -> { h with logw = h.logw -. z }) hyps
+let store_size s = Array.length s.logw
 
-let sort_heaviest hyps = List.sort (fun a b -> Float.compare b.logw a.logw) hyps
+let empty_store () =
+  { params = [||]; prepared = [||]; states = [||]; logw = [||]; awaiting = [||] }
+
+let store_of_array (arr : 'p hypothesis array) =
+  {
+    params = Array.map (fun (h : 'p hypothesis) -> h.params) arr;
+    prepared = Array.map (fun (h : 'p hypothesis) -> h.prepared) arr;
+    states = Array.map (fun (h : 'p hypothesis) -> h.state) arr;
+    logw = Array.map (fun (h : 'p hypothesis) -> h.logw) arr;
+    awaiting = Array.map (fun (h : 'p hypothesis) -> h.awaiting) arr;
+  }
+
+let hyp_at s i =
+  {
+    params = s.params.(i);
+    prepared = s.prepared.(i);
+    state = s.states.(i);
+    logw = s.logw.(i);
+    awaiting = s.awaiting.(i);
+  }
+
+(* Reorder every column by the index array (which may also select a
+   subset). The result's arrays are fresh, so callers may overwrite
+   the new [logw] in place. *)
+let permute s idx =
+  {
+    params = Array.map (fun i -> s.params.(i)) idx;
+    prepared = Array.map (fun i -> s.prepared.(i)) idx;
+    states = Array.map (fun i -> s.states.(i)) idx;
+    logw = Array.map (fun i -> s.logw.(i)) idx;
+    awaiting = Array.map (fun i -> s.awaiting.(i)) idx;
+  }
+
+let normalize_store s =
+  let z = Logw.logsumexp_arr s.logw in
+  if z = neg_infinity then empty_store ()
+  else { s with logw = Array.map (fun x -> x -. z) s.logw }
+
+(* Heaviest first; ties keep their prior relative order (the index
+   tie-break makes this the stable descending sort the list pipeline
+   used). *)
+let sort_store s =
+  let idx = Array.init (store_size s) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare s.logw.(j) s.logw.(i) in
+      if c <> 0 then c else Int.compare i j)
+    idx;
+  permute s idx
 
 let create ?(tick = 1e-6) ?(min_weight = 1e-9) ?(max_hyps = 20_000) ?(cap_policy = `Top_k)
     ?(obs_offset = fun _ -> 0.0) ?ll_floor seeds =
@@ -58,9 +121,9 @@ let create ?(tick = 1e-6) ?(min_weight = 1e-9) ?(max_hyps = 20_000) ?(cap_policy
       awaiting = [];
     }
   in
-  let hyps = normalize_hyps (List.map hyp seeds) in
+  let store = normalize_store (store_of_array (Array.of_list (List.map hyp seeds))) in
   {
-    hyps = sort_heaviest hyps;
+    store = sort_store store;
     tick;
     min_weight;
     max_hyps;
@@ -115,62 +178,82 @@ let score ~tick ~floor ~offset ~acks (deliveries : Forward.delivery list) =
     Some ll
   with Rejected -> None
 
-let prune ~min_weight hyps =
-  let heaviest = List.fold_left (fun acc h -> Float.max acc h.logw) neg_infinity hyps in
-  if heaviest = neg_infinity then []
+let prune_store ~min_weight s =
+  let n = store_size s in
+  let heaviest = ref neg_infinity in
+  for i = 0 to n - 1 do
+    heaviest := Float.max !heaviest s.logw.(i)
+  done;
+  if !heaviest = neg_infinity then empty_store ()
   else begin
-    let threshold = heaviest +. log min_weight in
-    List.filter (fun h -> h.logw >= threshold) hyps
+    let threshold = !heaviest +. log min_weight in
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      if s.logw.(i) >= threshold then incr kept
+    done;
+    if !kept = n then s
+    else begin
+      let idx = Array.make !kept 0 in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if s.logw.(i) >= threshold then begin
+          idx.(!j) <- i;
+          incr j
+        end
+      done;
+      permute s idx
+    end
   end
 
-let systematic_resample rng ~n hyps =
-  let arr = Array.of_list hyps in
-  let weights = Array.map (fun h -> exp h.logw) arr in
+let systematic_resample rng ~n s =
+  let len = store_size s in
+  let weights = Array.map exp s.logw in
   let total = Array.fold_left ( +. ) 0.0 weights in
-  let counts = Array.make (Array.length arr) 0 in
+  let counts = Array.make len 0 in
   let step = total /. float_of_int n in
   let u0 = Rng.uniform rng ~lo:0.0 ~hi:step in
   let cursor = ref 0 in
   let cum = ref weights.(0) in
   for i = 0 to n - 1 do
     let target = u0 +. (float_of_int i *. step) in
-    while !cum < target && !cursor < Array.length arr - 1 do
+    while !cum < target && !cursor < len - 1 do
       incr cursor;
       cum := !cum +. weights.(!cursor)
     done;
     counts.(!cursor) <- counts.(!cursor) + 1
   done;
-  let kept = ref [] in
-  Array.iteri
-    (fun i count ->
-      if count > 0 then
-        kept := { arr.(i) with logw = log (float_of_int count /. float_of_int n) } :: !kept)
-    counts;
-  List.rev !kept
+  let kept = ref 0 in
+  Array.iter (fun c -> if c > 0 then incr kept) counts;
+  let idx = Array.make !kept 0 in
+  let j = ref 0 in
+  for i = 0 to len - 1 do
+    if counts.(i) > 0 then begin
+      idx.(!j) <- i;
+      incr j
+    end
+  done;
+  let resampled = permute s idx in
+  for k = 0 to !kept - 1 do
+    resampled.logw.(k) <- log (float_of_int counts.(idx.(k)) /. float_of_int n)
+  done;
+  resampled
 
-let cap t hyps =
-  if List.length hyps <= t.max_hyps then hyps
+let take_store s k =
+  if k >= store_size s then s else permute s (Array.init k Fun.id)
+
+let cap t s =
+  if store_size s <= t.max_hyps then s
   else begin
     match t.cap_policy with
-    | `Top_k ->
-      let sorted = sort_heaviest hyps in
-      let rec take n = function
-        | [] -> []
-        | _ :: _ when n = 0 -> []
-        | h :: rest -> h :: take (n - 1) rest
-      in
-      take t.max_hyps sorted
-    | `Resample rng -> systematic_resample rng ~n:t.max_hyps hyps
+    | `Top_k -> take_store (sort_store s) t.max_hyps
+    | `Resample rng -> systematic_resample rng ~n:t.max_hyps s
   end
 
-(* First [n] elements and the rest, without re-allocating past [n]. *)
-let take_drop n items =
-  let rec go n acc = function
-    | rest when n = 0 -> (List.rev acc, rest)
-    | [] -> (List.rev acc, [])
-    | x :: rest -> go (n - 1) (x :: acc) rest
-  in
-  go n [] items
+(* Per-call-site cost handle for the pool's serial-fallback model: the
+   expand fan only engages the domains when a window's estimated cost
+   clears the measured dispatch overhead. Scheduling state only — it
+   never influences a posterior. *)
+let expand_cost = Utc_parallel.Pool.Cost.make ~label:"belief.expand"
 
 (* lint:hotpath -- expand/score/compact runs per hypothesis per tick;
    ROADMAP hot-path program tracks its allocations *)
@@ -180,9 +263,15 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
     | Some pool -> pool
     | None -> Utc_parallel.Pool.default ()
   in
-  let expand hyp =
-    let offset = t.obs_offset hyp.params in
-    let outcomes = Forward.run ?until_prio:now_prio hyp.prepared hyp.state ~sends ~until:now in
+  let s = t.store in
+  let n = store_size s in
+  let expand i =
+    let hyp_params = s.params.(i) in
+    let hyp_prepared = s.prepared.(i) in
+    let hyp_logw = s.logw.(i) in
+    let hyp_awaiting = s.awaiting.(i) in
+    let offset = t.obs_offset hyp_params in
+    let outcomes = Forward.run ?until_prio:now_prio hyp_prepared s.states.(i) ~sends ~until:now in
     let keep (o : Forward.outcome) = (* lint:allow R11 -- per-hypothesis outcome scorer closes over offset and acks *)
       (* Only primary deliveries are observable; those whose (offset)
          acknowledgment is due by now are scored, the rest carry over. *)
@@ -194,7 +283,7 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
       let due, awaiting =
         List.partition
           (fun (d : Forward.delivery) -> Tb.( <=. ) (d.time +. offset) (now +. t.tick)) (* lint:allow R11 -- per-outcome due/awaiting split *)
-          (hyp.awaiting @ observable)
+          (hyp_awaiting @ observable)
       in
       let ll =
         if condition then score ~tick:t.tick ~floor:t.ll_floor ~offset ~acks due else Some 0.0
@@ -202,36 +291,51 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
       match ll with
       | None -> None
       | Some ll ->
-        let logw = hyp.logw +. o.logw +. ll in
+        let logw = hyp_logw +. o.logw +. ll in
         if logw = neg_infinity then None
-        else Some { hyp with state = o.state; logw; awaiting } (* lint:allow R11 -- the surviving fork IS the posterior hypothesis record *)
+        else
+          Some { params = hyp_params; prepared = hyp_prepared; state = o.state; logw; awaiting } (* lint:allow R11 -- the surviving fork IS the posterior hypothesis record *)
     in
     List.filter_map keep outcomes
   in
   (* Compact on the fly: expanding thousands of hypotheses that each may
      fork hundreds of ways must not materialize the whole product before
      merging (under model misspecification the forking is at its worst
-     exactly when every branch survives unconditioned). *)
-  let table : (string, 'a hypothesis) Hashtbl.t = Hashtbl.create 1024 in
-  let order = ref [] in
-  let absorb h =
+     exactly when every branch survives unconditioned). Each table slot
+     keeps the first-seen fork record plus a mutable merged log-weight,
+     so absorbing a duplicate fork is a float write, not a record copy;
+     the insertion-order key journal is a plain growable array. *)
+  let table : (string, 'a hypothesis * float ref) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref (Array.make 256 "") in
+  let order_n = ref 0 in
+  let push key =
+    if !order_n = Array.length !order then begin
+      let bigger = Array.make (2 * !order_n) "" in
+      Array.blit !order 0 bigger 0 !order_n;
+      order := bigger
+    end;
+    !order.(!order_n) <- key;
+    incr order_n
+  in
+  let absorb (h : 'a hypothesis) =
     let key =
       Marshal.to_string h.params [] ^ Mstate.canonical h.state (* lint:allow R11 -- compaction key: canonical bytes are what gets hashed *)
       ^ Marshal.to_string h.awaiting []
     in
     match Hashtbl.find_opt table key with
     | None ->
-      Hashtbl.replace table key h;
-      order := key :: !order (* lint:allow R11 -- insertion-order key list keeps the merge deterministic *)
-    | Some existing ->
-      Hashtbl.replace table key { existing with logw = Logw.logsumexp [ existing.logw; h.logw ] } (* lint:allow R11 -- merged-weight update, one record per duplicate fork *)
+      Hashtbl.replace table key (h, ref h.logw);
+      push key
+    | Some (_, merged) -> merged := Logw.logsumexp2 !merged h.logw
   in
   (* Hypotheses are independent — each owns its state and the only shared
-     input is the read-only prepared model — so [expand] fans across the
-     pool. The merge ([absorb]) stays serial and in index order, which
-     makes the posterior bit-identical to the serial path for any domain
-     count. Fanning window by window keeps the compaction incremental:
-     only one window's forks are materialized at a time. *)
+     input is the read-only store — so [expand] fans across the pool. The
+     merge ([absorb]) stays serial and in index order, which makes the
+     posterior bit-identical to the serial path for any domain count.
+     Fanning window by window keeps the compaction incremental: only one
+     window's forks are materialized at a time, and the pool's cost model
+     (via [expand_cost]) keeps sub-threshold windows on the serial
+     path. *)
   (* The expand/compact phase spans enter and exit on the calling domain
      only — never inside the pooled [expand] closures, whose execution
      domain is schedule-dependent — so the span tree stays deterministic. *)
@@ -239,58 +343,66 @@ let step ?pool t ~sends ~acks ~now ~now_prio ~condition =
     ~now:(fun () -> now)
     (fun () ->
       if Utc_parallel.Pool.domains pool <= 1 then
-        List.iter (fun hyp -> List.iter absorb (expand hyp)) t.hyps
+        for i = 0 to n - 1 do
+          List.iter absorb (expand i)
+        done
       else begin
         let window = Utc_parallel.Pool.domains pool * 8 in
-        let rec windows = function
-          | [] -> ()
-          | hyps ->
-            let batch, rest = take_drop window hyps in
-            List.iter (List.iter absorb) (Utc_parallel.Pool.map_list pool ~f:expand batch);
-            windows rest
-        in
-        windows t.hyps
+        let lo = ref 0 in
+        while !lo < n do
+          let len = min window (n - !lo) in
+          let base = !lo in
+          let batch = Array.make len 0 in
+          for k = 0 to len - 1 do
+            batch.(k) <- base + k
+          done;
+          Array.iter (List.iter absorb)
+            (Utc_parallel.Pool.map_array ~cost:expand_cost pool ~f:expand batch);
+          lo := base + len
+        done
       end);
   Utc_obs.Metrics.span ~name:"compact"
     ~now:(fun () -> now)
     (fun () ->
-      let hyps = List.rev_map (fun key -> Hashtbl.find table key) !order in
-      let hyps = prune ~min_weight:t.min_weight hyps in
-      let hyps = normalize_hyps hyps in
-      let hyps = normalize_hyps (cap t hyps) in
-      { t with hyps = sort_heaviest hyps; now })
-
-let group_weights t ~key =
-  let table = Hashtbl.create 64 in
-  let order = ref [] in
-  let add h =
-    let k = key h in
-    match Hashtbl.find_opt table k with
-    | None ->
-      Hashtbl.replace table k (h.params, exp h.logw);
-      order := k :: !order
-    | Some (params, w) -> Hashtbl.replace table k (params, w +. exp h.logw)
-  in
-  List.iter add t.hyps;
-  let groups = List.rev_map (fun k -> Hashtbl.find table k) !order in
-  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
+      let keys = !order in
+      let recs =
+        Array.init !order_n (fun k ->
+            let h, merged = Hashtbl.find table keys.(k) in
+            if !merged = h.logw then h else { h with logw = !merged }) (* lint:allow R11 -- one record per duplicated fork; unique forks are reused as-is *)
+      in
+      let st = store_of_array recs in
+      let st = prune_store ~min_weight:t.min_weight st in
+      let st = normalize_store st in
+      let st = normalize_store (cap t st) in
+      { t with store = sort_store st; now })
 
 let posterior t =
-  group_weights t ~key:(fun h -> Marshal.to_string h.params [])
+  let s = t.store in
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  for i = 0 to store_size s - 1 do
+    let k = Marshal.to_string s.params.(i) [] in
+    match Hashtbl.find_opt table k with
+    | None ->
+      Hashtbl.replace table k (s.params.(i), exp s.logw.(i));
+      order := k :: !order
+    | Some (params, w) -> Hashtbl.replace table k (params, w +. exp s.logw.(i))
+  done;
+  let groups = List.rev_map (fun k -> Hashtbl.find table k) !order in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
 
 let entropy t =
   let weights = List.map snd (posterior t) in
   Logw.entropy (List.map (fun w -> if w <= 0.0 then neg_infinity else log w) weights)
 
 let ess t =
-  let sum_sq =
-    List.fold_left
-      (fun acc h ->
-        let w = exp h.logw in
-        acc +. (w *. w))
-      0.0 t.hyps
-  in
-  if sum_sq <= 0.0 then 0.0 else 1.0 /. sum_sq
+  let s = t.store in
+  let sum_sq = ref 0.0 in
+  for i = 0 to store_size s - 1 do
+    let w = exp s.logw.(i) in
+    sum_sq := !sum_sq +. (w *. w)
+  done;
+  if !sum_sq <= 0.0 then 0.0 else 1.0 /. !sum_sq
 
 (* Telemetry is recorded at the serial boundary of [update]/[reseed] —
    never inside [expand], which fans across the pool — so the journal is
@@ -309,7 +421,7 @@ let record_update t status =
     Utc_obs.Sink.record ~at:t.now
       (Utc_obs.Event.Belief_update
          {
-           size = List.length t.hyps;
+           size = store_size t.store;
            entropy = entropy t;
            ess = ess t;
            status =
@@ -325,10 +437,8 @@ let update ?pool t ~sends ~acks ~now ?now_prio () =
     (fun () ->
       let result =
         let conditioned = step ?pool t ~sends ~acks ~now ~now_prio ~condition:true in
-        match conditioned.hyps with
-        | _ :: _ -> (conditioned, Consistent)
-        | [] ->
-          begin
+        if store_size conditioned.store > 0 then (conditioned, Consistent)
+        else begin
           let unconditioned = step ?pool t ~sends ~acks:[] ~now ~now_prio ~condition:false in
           (unconditioned, All_rejected)
         end
@@ -372,70 +482,71 @@ let reseed t ~seeds ?(keep = 0.0) ~now () =
   if keep < 0.0 || keep >= 1.0 then invalid_arg "Belief.reseed: keep must be in [0, 1)";
   if Tb.compare now t.now < 0 then invalid_arg "Belief.reseed: now is before the belief's time";
   let fresh =
-    normalize_hyps
-      (List.map
-         (fun (params, weight, prepared, state) ->
-           {
-             params;
-             prepared;
-             state = anchor now state;
-             logw = (if weight <= 0.0 then neg_infinity else log weight);
-             awaiting = [];
-           })
-         seeds)
+    normalize_store
+      (store_of_array
+         (Array.of_list
+            (List.map
+               (fun (params, weight, prepared, state) ->
+                 {
+                   params;
+                   prepared;
+                   state = anchor now state;
+                   logw = (if weight <= 0.0 then neg_infinity else log weight);
+                   awaiting = [];
+                 })
+               seeds)))
   in
-  (match fresh with
-  | [] -> invalid_arg "Belief.reseed: no fresh seeds with positive weight"
-  | _ :: _ -> ());
+  if store_size fresh = 0 then invalid_arg "Belief.reseed: no fresh seeds with positive weight";
   let kept =
-    if keep <= 0.0 then []
+    if keep <= 0.0 then empty_store ()
     else begin
       (* Survivors must be at [now] already (the caller just filtered to
          now); scale their unit mass down to [keep]. *)
-      let stale = List.exists (fun h -> Tb.compare h.state.Mstate.now now <> 0) t.hyps in
-      if stale then invalid_arg "Belief.reseed: kept hypotheses are not at now";
-      List.map (fun h -> { h with logw = h.logw +. log keep }) t.hyps
+      let stale = ref false in
+      Array.iter
+        (fun (st : Mstate.t) -> if Tb.compare st.Mstate.now now <> 0 then stale := true)
+        t.store.states;
+      if !stale then invalid_arg "Belief.reseed: kept hypotheses are not at now";
+      { t.store with logw = Array.map (fun lw -> lw +. log keep) t.store.logw }
     end
   in
-  let fresh_scale =
-    match kept with
-    | [] -> 0.0
-    | _ :: _ -> log1p (-.keep)
+  let fresh_scale = if store_size kept = 0 then 0.0 else log1p (-.keep) in
+  let fresh = { fresh with logw = Array.map (fun lw -> lw +. fresh_scale) fresh.logw } in
+  let combined =
+    {
+      params = Array.append kept.params fresh.params;
+      prepared = Array.append kept.prepared fresh.prepared;
+      states = Array.append kept.states fresh.states;
+      logw = Array.append kept.logw fresh.logw;
+      awaiting = Array.append kept.awaiting fresh.awaiting;
+    }
   in
-  let fresh = List.map (fun h -> { h with logw = h.logw +. fresh_scale }) fresh in
-  let hyps = normalize_hyps (kept @ fresh) in
-  let result = { t with hyps = sort_heaviest hyps; now } in
+  let result = { t with store = sort_store (normalize_store combined); now } in
   Utc_obs.Metrics.incr reseeds_c;
   Utc_obs.Sink.record ~at:now
     (Utc_obs.Event.Belief_reseed
-       { size = List.length result.hyps; keep = List.length kept });
+       { size = store_size result.store; keep = store_size kept });
   result
 
-let support t = t.hyps
+let support t = List.init (store_size t.store) (hyp_at t.store)
 
-let top t ~n =
-  let rec take n = function
-    | [] -> []
-    | _ :: _ when n = 0 -> []
-    | h :: rest -> h :: take (n - 1) rest
-  in
-  take n t.hyps
+let top t ~n = List.init (min n (store_size t.store)) (hyp_at t.store)
 
-let size t = List.length t.hyps
+let size t = store_size t.store
 let now t = t.now
 
 let marginal t ~project =
+  let s = t.store in
   let table = Hashtbl.create 64 in
   let order = ref [] in
-  let add h =
-    let k = project h.params in
+  for i = 0 to store_size s - 1 do
+    let k = project s.params.(i) in
     match Hashtbl.find_opt table k with
     | None ->
-      Hashtbl.replace table k (exp h.logw);
+      Hashtbl.replace table k (exp s.logw.(i));
       order := k :: !order
-    | Some w -> Hashtbl.replace table k (w +. exp h.logw)
-  in
-  List.iter add t.hyps;
+    | Some w -> Hashtbl.replace table k (w +. exp s.logw.(i))
+  done;
   let groups = List.rev_map (fun k -> (k, Hashtbl.find table k)) !order in
   List.sort (fun (_, a) (_, b) -> Float.compare b a) groups
 
@@ -445,4 +556,9 @@ let map_estimate t =
   | best :: _ -> best
 
 let mean t ~value =
-  List.fold_left (fun acc h -> acc +. (exp h.logw *. value h.params)) 0.0 t.hyps
+  let s = t.store in
+  let acc = ref 0.0 in
+  for i = 0 to store_size s - 1 do
+    acc := !acc +. (exp s.logw.(i) *. value s.params.(i))
+  done;
+  !acc

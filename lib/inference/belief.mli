@@ -94,6 +94,11 @@ val update :
     {!Utc_parallel.Pool.default}); log-weights merge in hypothesis index
     order, so the result is bit-identical for every pool size. *)
 
+val expand_cost : Utc_parallel.Pool.Cost.t
+(** The adaptive cost handle behind the per-hypothesis expansion fan
+    (label ["belief.expand"]); exposed for the parallel benchmark and
+    tests. *)
+
 val advance :
   ?pool:Utc_parallel.Pool.t ->
   'p t ->

@@ -30,8 +30,11 @@ let create ?(config = default_config) () =
   if config.streak_limit < 1 then invalid_arg "Degeneracy.create: streak_limit must be >= 1";
   { config; streak = 0; worst_streak = 0 }
 
+(* [top ~n:1], not [support]: the store keeps hypotheses heaviest-first,
+   and this runs on every informative wakeup — no reason to materialize
+   the whole set. *)
 let top_weight belief =
-  match Belief.support belief with
+  match Belief.top belief ~n:1 with
   | [] -> 0.0
   | h :: _ -> exp h.Belief.logw
 

@@ -9,3 +9,17 @@ val normalize : float list -> float list
 
 val entropy : float list -> float
 (** Shannon entropy (nats) of normalized log-weights. *)
+
+(** {1 Flat-array variants}
+
+    Same math, same left-to-right summation order — a belief stored as a
+    flat [float array] normalizes to exactly the bits the list pipeline
+    produced. *)
+
+val logsumexp_arr : float array -> float
+
+val normalize_arr_inplace : float array -> unit
+(** Shift in place so the weights sum to 1 in linear space. *)
+
+val logsumexp2 : float -> float -> float
+(** [logsumexp [a; b]], without the list. *)

@@ -8,10 +8,7 @@ let degenerate ?(threshold = 0.5) belief =
   let size = Belief.size belief in
   size > 0 && ess belief < threshold *. float_of_int size
 
-let diversity belief =
-  let table = Hashtbl.create 64 in
-  List.iter
-    (fun (h : _ Belief.hypothesis) ->
-      Hashtbl.replace table (Marshal.to_string h.Belief.params []) ())
-    (Belief.support belief);
-  Hashtbl.length table
+(* Distinct parameter vectors in the support; [posterior] already groups
+   by marshalled params over the flat store, without materializing
+   hypothesis records. *)
+let diversity belief = List.length (Belief.posterior belief)

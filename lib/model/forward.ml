@@ -29,6 +29,9 @@ type prepared = {
   queue_free : bool array;
       (* queue_free.(id): no station is reachable from node id (inclusive),
          so a packet dropped here cannot affect any other packet. *)
+  mutable plan : prepared option;
+      (* Memoized [fork_gates = false] variant for certainty-equivalent
+         planning; see [plan_variant]. *)
 }
 
 let config_of p = p.config
@@ -60,7 +63,33 @@ let prepare config compiled =
       v
   in
   let queue_free = Array.init count node_queue_free in
-  { config; compiled; queue_free }
+  { config; compiled; queue_free; plan = None }
+
+(* The planner prices rollouts with gate forking off (certainty-
+   equivalent planning) but otherwise the filter's exact model; deriving
+   that variant is an O(nodes) [prepare] that used to run once per
+   hypothesis per decision. Memoize it on the filter's [prepared] — the
+   analysis is a pure function of [(config, compiled)], so the memo only
+   saves work, never changes a result. Callers fill the memo from the
+   serial section of a decision (never inside a pool job), so the
+   unsynchronized mutable field is written by one domain at a time. *)
+let plan_variant p =
+  match p.config.fork_gates with
+  | false -> p
+  | true -> (
+    match p.plan with
+    | Some q -> q
+    | None ->
+      let q =
+        {
+          config = { p.config with fork_gates = false };
+          compiled = p.compiled;
+          queue_free = p.queue_free;
+          plan = None;
+        }
+      in
+      p.plan <- Some q;
+      q)
 
 type branch = {
   state : Mstate.t;

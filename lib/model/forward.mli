@@ -57,6 +57,13 @@ val prepare : config -> Utc_net.Compiled.t -> prepared
 val config_of : prepared -> config
 val compiled_of : prepared -> Utc_net.Compiled.t
 
+val plan_variant : prepared -> prepared
+(** The [fork_gates = false] variant of this model (certainty-equivalent
+    planning over the gate process), memoized on first use so repeated
+    decisions share one analysis. Returns the argument itself when gate
+    forking is already off. Not thread-safe: call from the serial section
+    of a decision, never inside a pooled job. *)
+
 val run :
   ?until_prio:int ->
   prepared ->

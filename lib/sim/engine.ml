@@ -33,19 +33,24 @@ let cancel handle =
   handle.live <- false
 let is_cancelled handle = not handle.live
 
+(* lint:hotpath -- one iteration per simulated event; peeks the heap top
+   in place instead of popping an option/tuple box *)
 let step t =
   let rec loop () =
-    match Pheap.pop t.queue with
-    | None -> false
-    | Some (time, ev) ->
-      if ev.handle.live then begin
+    if Pheap.is_empty t.queue then false
+    else begin
+      let time = Pheap.top_time t.queue in
+      let { handle; thunk } = Pheap.top_payload t.queue in
+      Pheap.drop_top t.queue;
+      if handle.live then begin
         t.clock <- time;
-        ev.handle.live <- false;
+        handle.live <- false;
         Utc_obs.Metrics.incr executed_c;
-        ev.thunk ();
+        thunk ();
         true
       end
       else loop ()
+    end
   in
   loop ()
 
@@ -57,10 +62,9 @@ let run ?(until = Timebase.infinity) t =
     ~now:(fun () -> t.clock)
     (fun () ->
       let rec loop () =
-        match Pheap.min_time t.queue with
-        | None -> ()
-        | Some time when Timebase.( >. ) time until -> t.clock <- until
-        | Some _ -> if step t then loop ()
+        if Pheap.is_empty t.queue then ()
+        else if Timebase.( >. ) (Pheap.top_time t.queue) until then t.clock <- until
+        else if step t then loop ()
       in
       loop ())
 

@@ -20,6 +20,18 @@ val add : ?prio:int -> 'a t -> time:Timebase.t -> 'a -> unit
 val min_time : 'a t -> Timebase.t option
 (** Earliest key, without removing it. *)
 
+val top_time : 'a t -> Timebase.t
+(** Earliest key, without removing it. Raises [Invalid_argument] when the
+    heap is empty; with {!top_payload} and {!drop_top} this is the
+    allocation-free alternative to {!pop} for the engine loop. *)
+
+val top_payload : 'a t -> 'a
+(** Payload at the earliest key. Raises [Invalid_argument] when empty. *)
+
+val drop_top : 'a t -> unit
+(** Remove the element at the earliest key without returning it. Raises
+    [Invalid_argument] when empty. *)
+
 val pop : 'a t -> (Timebase.t * 'a) option
 (** Remove and return the element with the smallest [(time, tie)] key. *)
 

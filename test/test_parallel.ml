@@ -308,7 +308,7 @@ let pool_basics () =
         (List.init 6 (fun i -> List.fold_left ( + ) 0 (List.init i succ)))
         nested);
   Alcotest.check_raises "domains must be positive" (Invalid_argument "Pool.create: domains must be >= 1")
-    (fun () -> ignore (Pool.create ~domains:0))
+    (fun () -> ignore (Pool.create ~domains:0 ()))
 
 let pool_exception_propagation () =
   (* The lowest-indexed failing chunk's exception wins, deterministically,
@@ -322,6 +322,141 @@ let pool_exception_propagation () =
       Alcotest.(check (list int)) "pool still works after a failure"
         (List.init 10 succ)
         (Pool.map_list pool ~f:succ (List.init 10 Fun.id)))
+
+(* --- adaptive cost model --- *)
+
+let cost_model_threshold () =
+  (* The decision inequality at its exact boundary: with eff = 2 the
+     saving is half the estimate, so per_item = 1000 ns over 4 items
+     saves exactly the 2.0 * 1000 * 1 threshold — and a tie must stay
+     serial (misprediction toward parallel is the expensive direction). *)
+  let overhead_ns = 1000.0 in
+  Alcotest.(check bool) "exactly at threshold stays serial" false
+    (Pool.would_engage ~eff:2 ~overhead_ns ~per_item_ns:1000.0 ~items:4 ~chunks:1);
+  Alcotest.(check bool) "just above threshold engages" true
+    (Pool.would_engage ~eff:2 ~overhead_ns ~per_item_ns:1001.0 ~items:4 ~chunks:1);
+  Alcotest.(check bool) "just below threshold stays serial" false
+    (Pool.would_engage ~eff:2 ~overhead_ns ~per_item_ns:999.0 ~items:4 ~chunks:1);
+  (* More chunks raise the bar: the same work split finer pays more
+     dispatch overhead. *)
+  Alcotest.(check bool) "same work, more chunks, stays serial" false
+    (Pool.would_engage ~eff:2 ~overhead_ns ~per_item_ns:1001.0 ~items:4 ~chunks:2);
+  (* Degenerate inputs can never engage. *)
+  Alcotest.(check bool) "cold estimate never engages" false
+    (Pool.would_engage ~eff:8 ~overhead_ns ~per_item_ns:Float.nan ~items:1000 ~chunks:4);
+  Alcotest.(check bool) "unknown overhead never engages" false
+    (Pool.would_engage ~eff:8 ~overhead_ns:Float.nan ~per_item_ns:1e9 ~items:1000 ~chunks:4);
+  Alcotest.(check bool) "single effective domain never engages" false
+    (Pool.would_engage ~eff:1 ~overhead_ns ~per_item_ns:1e9 ~items:1000 ~chunks:4);
+  Alcotest.(check bool) "single item never engages" false
+    (Pool.would_engage ~eff:4 ~overhead_ns ~per_item_ns:1e9 ~items:1 ~chunks:1)
+
+let adaptive_decision_ladder () =
+  (* Whatever branch the cost model picks — cold learning pass, primed
+     fallback, primed engagement (where the machine has parallelism) —
+     the result is the plain map, and the recorded decision matches the
+     branch. *)
+  let xs = List.init 57 Fun.id in
+  let f x = (x * 2654435761) lxor (x lsr 4) in
+  let expected = List.map f xs in
+  let cost = Pool.Cost.make ~label:"test.adaptive" in
+  Pool.with_pool ~policy:Pool.Adaptive ~domains:4 (fun pool ->
+      Alcotest.(check bool) "policy" true (Pool.policy pool = Pool.Adaptive);
+      Pool.Cost.forget cost;
+      Alcotest.(check (list int)) "cold pass" expected (Pool.map_list ~cost pool ~f xs);
+      Alcotest.(check bool) "cold pass learned a cost" false
+        (Float.is_nan (Pool.Cost.per_item_ns cost));
+      Pool.Cost.prime cost ~per_item_ns:1.0;
+      Alcotest.(check (list int)) "cheap pass" expected (Pool.map_list ~chunk:8 ~cost pool ~f xs);
+      (match Pool.Cost.last_decision cost with
+      | Some d -> Alcotest.(check bool) "cheap work falls back" false d.Pool.Cost.engaged
+      | None -> Alcotest.fail "no decision recorded for the cheap pass");
+      Pool.Cost.prime cost ~per_item_ns:1e9;
+      Alcotest.(check (list int)) "expensive pass" expected
+        (Pool.map_list ~chunk:8 ~cost pool ~f xs);
+      match Pool.Cost.last_decision cost with
+      | Some d ->
+        Alcotest.(check bool) "engages exactly when the machine has parallelism"
+          (Pool.effective_domains pool > 1)
+          d.Pool.Cost.engaged
+      | None -> Alcotest.fail "no decision recorded for the expensive pass")
+
+(* The shipped cost handles, primed to force each branch: the adaptive
+   path must reproduce the serial fingerprints bit for bit whether it
+   falls back or engages. *)
+let adaptive_golden_identity () =
+  let serial_belief =
+    run_update ~domains:1 (Belief.create (fig2_seeds ())) ~sends:fig2_sends ~acks:fig2_acks
+      ~now:5.0
+  in
+  let make_packet at = Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:at () in
+  let decide pool =
+    let belief = Belief.create (small_family ()) in
+    let belief = Belief.advance ~pool belief ~sends:[] ~now:0.5 () in
+    Planner.decide ~pool planner_config ~belief ~now:0.5 ~pending:[] ~make_packet
+  in
+  let sweep_configs =
+    let prior = Scalability.thin 64 (Priors.paper_prior ()) in
+    List.map
+      (fun alpha -> { Harness.default with Harness.seed = 5; duration = 8.0; alpha; prior })
+      [ 1.0; 2.5 ]
+  in
+  let sweep pool = List.map strip (Harness.run_many ~pool sweep_configs) in
+  let serial_planner = Pool.with_pool ~domains:1 decide in
+  let serial_sweep = Pool.with_pool ~domains:1 sweep in
+  let handles = [ Belief.expand_cost; Planner.price_cost; Harness.run_cost ] in
+  List.iter
+    (fun (branch, per_item_ns) ->
+      List.iter (fun c -> Pool.Cost.prime c ~per_item_ns) handles;
+      Pool.with_pool ~policy:Pool.Adaptive ~domains:4 (fun pool ->
+          check_belief_equal
+            (Printf.sprintf "fig2 update, adaptive %s" branch)
+            serial_belief
+            (Belief.update ~pool
+               (Belief.create (fig2_seeds ()))
+               ~sends:fig2_sends ~acks:fig2_acks ~now:5.0 ());
+          Alcotest.(check bool)
+            (Printf.sprintf "planner decision, adaptive %s" branch)
+            true
+            (decide pool = serial_planner);
+          Alcotest.(check bool)
+            (Printf.sprintf "harness sweep, adaptive %s" branch)
+            true
+            (sweep pool = serial_sweep)))
+    [ ("fallback", 1.0); ("engaged", 1e9) ];
+  (* Leave the shipped handles cold for whatever runs next. *)
+  List.iter Pool.Cost.forget handles
+
+(* --- planner gross-utility cache --- *)
+
+let planner_cache_identity () =
+  let belief =
+    Pool.with_pool ~domains:1 (fun pool ->
+        Belief.advance ~pool (Belief.create (small_family ())) ~sends:[] ~now:0.5 ())
+  in
+  let make_packet at = Packet.make ~flow:Flow.Primary ~seq:0 ~sent_at:at () in
+  let decide ?cache () =
+    Pool.with_pool ~domains:1 (fun pool ->
+        Planner.decide ~pool ?cache planner_config ~belief ~now:0.5 ~pending:[] ~make_packet)
+  in
+  let reference = decide () in
+  let cache = Planner.make_cache () in
+  Alcotest.(check bool) "first cached decision matches uncached" true
+    (decide ~cache () = reference);
+  let hits_after_first, misses_after_first = Planner.cache_stats cache in
+  Alcotest.(check int) "first decision is all misses" 0 hits_after_first;
+  Alcotest.(check bool) "first decision probed a baseline per hypothesis" true
+    (misses_after_first > 0);
+  Alcotest.(check bool) "replayed decision matches uncached" true (decide ~cache () = reference);
+  let hits, misses = Planner.cache_stats cache in
+  (* Only baselines are ever looked up: the replay hits every baseline
+     stored by the first decision and adds no new misses. *)
+  Alcotest.(check int) "replay adds no misses" misses_after_first misses;
+  Alcotest.(check int) "replay baselines all hit" misses_after_first hits;
+  (* A capacity-1 cache thrashes but never lies. *)
+  let tiny = Planner.make_cache ~capacity:1 () in
+  Alcotest.(check bool) "capacity-bounded cache matches uncached" true
+    (decide ~cache:tiny () = reference)
 
 (* --- qcheck: the pool is List.map, bit for bit --- *)
 
@@ -410,6 +545,10 @@ let suite =
     ("golden harness sweep", `Slow, golden_harness_sweep);
     ("pool basics", `Quick, pool_basics);
     ("pool exception propagation", `Quick, pool_exception_propagation);
+    ("cost model threshold boundary", `Quick, cost_model_threshold);
+    ("adaptive decision ladder", `Quick, adaptive_decision_ladder);
+    ("adaptive golden identity", `Slow, adaptive_golden_identity);
+    ("planner cache identity", `Quick, planner_cache_identity);
     ("rng stream determinism", `Quick, rng_stream_determinism);
     ("rng streams pool-invariant", `Quick, rng_streams_pool_invariant);
     QCheck_alcotest.to_alcotest map_list_prop;

@@ -168,6 +168,51 @@ let pheap_clear () =
   Pheap.clear h;
   Alcotest.(check int) "cleared" 0 (Pheap.length h)
 
+let pheap_peek () =
+  let h = Pheap.create () in
+  Alcotest.check_raises "top_time on empty" (Invalid_argument "Pheap.top_time: empty heap")
+    (fun () -> ignore (Pheap.top_time h));
+  Alcotest.check_raises "top_payload on empty"
+    (Invalid_argument "Pheap.top_payload: empty heap") (fun () ->
+      ignore (Pheap.top_payload h));
+  Alcotest.check_raises "drop_top on empty" (Invalid_argument "Pheap.drop_top: empty heap")
+    (fun () -> Pheap.drop_top h);
+  Pheap.add h ~time:2.0 "b";
+  Pheap.add h ~time:1.0 "a";
+  Alcotest.(check (float 0.0)) "top_time peeks" 1.0 (Pheap.top_time h);
+  Alcotest.(check string) "top_payload peeks" "a" (Pheap.top_payload h);
+  Alcotest.(check int) "peeking removes nothing" 2 (Pheap.length h);
+  Pheap.drop_top h;
+  Alcotest.(check string) "drop_top advances" "b" (Pheap.top_payload h);
+  Pheap.drop_top h;
+  Alcotest.(check bool) "drained" true (Pheap.is_empty h)
+
+let pheap_peek_equals_pop_prop =
+  (* Draining via the allocation-free peek API visits exactly the
+     sequence [pop] returns — same keys, same payloads, same order. *)
+  QCheck.Test.make ~name:"pheap peek/drop drain equals pop drain" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) (int_range (-3) 3)))
+    (fun entries ->
+      let fill () =
+        let h = Pheap.create () in
+        List.iteri (fun i (time, prio) -> Pheap.add ~prio h ~time i) entries;
+        h
+      in
+      let rec pop_drain h acc =
+        match Pheap.pop h with
+        | None -> List.rev acc
+        | Some pair -> pop_drain h (pair :: acc)
+      in
+      let rec peek_drain h acc =
+        if Pheap.is_empty h then List.rev acc
+        else begin
+          let pair = (Pheap.top_time h, Pheap.top_payload h) in
+          Pheap.drop_top h;
+          peek_drain h (pair :: acc)
+        end
+      in
+      pop_drain (fill ()) [] = peek_drain (fill ()) [])
+
 let pheap_sorted_prop =
   QCheck.Test.make ~name:"pheap drains keys in nondecreasing order" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
@@ -321,6 +366,8 @@ let suite =
     ("pheap pop empties", `Quick, pheap_pop_empties);
     ("pheap min time", `Quick, pheap_min_time);
     ("pheap clear", `Quick, pheap_clear);
+    ("pheap peek api", `Quick, pheap_peek);
+    QCheck_alcotest.to_alcotest pheap_peek_equals_pop_prop;
     QCheck_alcotest.to_alcotest pheap_sorted_prop;
     ("engine order", `Quick, engine_runs_in_order);
     ("engine until", `Quick, engine_until_stops);
